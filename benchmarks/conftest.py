@@ -1,0 +1,29 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark file regenerates one of the paper's tables or figures,
+asserts the reproduction bands recorded in EXPERIMENTS.md, and times the
+harness through pytest-benchmark (one round — these are simulations, not
+microkernels; the interesting output is the simulated metrics, which each
+test attaches to ``benchmark.extra_info``).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    result = {}
+
+    def target():
+        result["value"] = fn(*args, **kwargs)
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+    return result["value"]
+
+
+@pytest.fixture
+def once(benchmark):
+    def _once(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _once

@@ -1,0 +1,189 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation disables or varies one mechanism the paper argues for and
+checks that the predicted degradation (or non-degradation) appears.
+"""
+
+import pytest
+
+from repro.apps.clientserver import ContentionConfig, run_contention
+from repro.cluster import Cluster, ClusterConfig
+from repro.am import build_parallel_vnet
+from repro.sim import ms
+
+
+# ------------------------------------------------- 1. on-host r/w (§6.4.1)
+def test_ablation_onhost_rw_state(once, benchmark):
+    """Without the asynchronous on-host r/w state, a single-threaded
+    server collapses once re-mapping begins (Section 6.4.1: "only a few
+    percent of the hardware performance was delivered")."""
+
+    def both():
+        base = ContentionConfig(nclients=10, mode="st", frames=8,
+                                duration_ms=100, warmup_ms=80)
+        with_state = run_contention(base)
+        base_off = ContentionConfig(
+            nclients=10, mode="st", frames=8, duration_ms=100, warmup_ms=80,
+            base=ClusterConfig(enable_onhost_rw=False),
+        )
+        without = run_contention(base_off)
+        return with_state, without
+
+    with_state, without = once(both)
+    benchmark.extra_info.update(
+        with_state=with_state.aggregate_msgs_s, without=without.aggregate_msgs_s
+    )
+    # the fix delivers several times the throughput of the original design
+    assert with_state.aggregate_msgs_s > 2.5 * max(1.0, without.aggregate_msgs_s)
+
+
+# -------------------------------------- 2. WRR loiter budget (Section 5.2)
+def test_ablation_service_discipline(once, benchmark):
+    """Loitering (64 msgs) amortizes per-endpoint switching; a budget of 1
+    (pure round-robin) costs throughput when several endpoints stream."""
+
+    def run_with(wrr):
+        cfg = ClusterConfig(num_hosts=4, wrr_max_msgs=wrr)
+        cluster = Cluster(cfg)
+        sim = cluster.sim
+        vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "s")
+        # two endpoints on node 0 streaming to node 1
+        from repro.am import create_endpoint
+
+        ep0b = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
+        ep0b.map(1, vnet[1].name, vnet[1].tag)
+        eps = [vnet[0], ep0b]
+        done = [0]
+        done_at = {}
+
+        def handler(token):
+            done[0] += 1
+            if done[0] == 300:
+                done_at["t"] = sim.now
+
+        def sender(thr, ep):
+            for _ in range(150):
+                yield from ep.request(thr, 1, handler)
+                yield from ep.poll(thr, limit=4)
+            while ep.credits_available(1) < cfg.user_credits:
+                yield from ep.poll(thr)
+                yield from thr.compute(2_000)
+
+        def receiver(thr):
+            while done[0] < 300:
+                yield from vnet[1].poll(thr, limit=16)
+
+        cluster.node(1).start_process().spawn_thread(receiver)
+        p0 = cluster.node(0).start_process()
+        for ep in eps:
+            p0.spawn_thread(lambda thr, ep=ep: sender(thr, ep))
+        t0 = sim.now
+        cluster.run(until=sim.now + ms(2_000))
+        assert done[0] == 300
+        return 300 / ((done_at["t"] - t0) / 1e9)
+
+    def both():
+        return run_with(64), run_with(1)
+
+    loiter, pure_rr = once(both)
+    benchmark.extra_info.update(loiter=loiter, pure_rr=pure_rr)
+    # both must work; loitering should not be (meaningfully) slower
+    assert loiter >= pure_rr * 0.9
+
+
+# ------------------------------------ 3. multiple logical channels (§5.1)
+def test_ablation_channel_count(once, benchmark):
+    """Multiple stop-and-wait channels mask transmission and
+    acknowledgment latencies (§5.1).  The effect is strongest for bulk
+    packets, whose acknowledgment ("written into the destination
+    endpoint") waits behind a ~176 us receive DMA: one channel serializes
+    on that round trip, many channels keep the SBus pipeline full.
+    """
+
+    def run_with(channels):
+        cfg = ClusterConfig(num_hosts=4, channels_per_pair=channels)
+        cluster = Cluster(cfg)
+        sim = cluster.sim
+        vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "s")
+        ep0, ep1 = vnet[0], vnet[1]
+        done = [0]
+        done_at = {}
+        WARM, TOTAL = 10, 60
+        NBYTES = 8192
+
+        def handler(token):
+            done[0] += 1
+            if done[0] == WARM:
+                done_at["t0"] = sim.now
+            if done[0] == TOTAL:
+                done_at["t"] = sim.now
+
+        def sender(thr):
+            for i in range(TOTAL):
+                yield from ep0.request(thr, 1, handler, nbytes=NBYTES)
+                yield from ep0.poll(thr, limit=8)
+            while ep0.credits_available(1) < cfg.user_credits:
+                yield from ep0.poll(thr)
+                yield from thr.compute(2_000)
+
+        def receiver(thr):
+            while done[0] < TOTAL:
+                yield from ep1.poll(thr, limit=16)
+
+        cluster.node(1).start_process().spawn_thread(receiver)
+        cluster.node(0).start_process().spawn_thread(sender)
+        cluster.run(until=sim.now + ms(5_000))
+        assert done[0] == TOTAL
+        elapsed = (done_at["t"] - done_at["t0"]) / 1e9
+        return (TOTAL - WARM) * NBYTES / elapsed / 1e6  # MB/s
+
+    def both():
+        return run_with(1), run_with(32)
+
+    one, many = once(both)
+    benchmark.extra_info.update(one_channel_mb_s=one, many_channels_mb_s=many)
+    assert many > 1.5 * one  # latency masking pays
+
+
+# ------------------------------ 4. random vs LRU replacement (Section 4.1)
+def test_ablation_replacement_policy(once, benchmark):
+    """Under the thrash workload, random replacement performs comparably
+    to LRU (the paper chose random for its simplicity)."""
+
+    def run_policy(policy):
+        return run_contention(
+            ContentionConfig(
+                nclients=12, mode="st", frames=8, duration_ms=100, warmup_ms=80,
+                base=ClusterConfig(replacement_policy=policy),
+            )
+        ).aggregate_msgs_s
+
+    def both():
+        return run_policy("random"), run_policy("lru")
+
+    rand, lru = once(both)
+    benchmark.extra_info.update(random=rand, lru=lru)
+    assert rand > 0 and lru > 0
+    # neither policy dominates by more than ~2.5x on this access pattern
+    assert max(rand, lru) / max(1.0, min(rand, lru)) < 2.5
+
+
+# -------------------------------------- 5. credit window sizing (§6.4)
+def test_ablation_credit_window(once, benchmark):
+    """A small credit window under-fills the pipeline; the full 32-credit
+    window reaches the NI's message rate (Figure 6's peak)."""
+
+    def run_window(credits, depth):
+        return run_contention(
+            ContentionConfig(
+                nclients=1, mode="one_vn", duration_ms=80, warmup_ms=60,
+                base=ClusterConfig(user_credits=credits, recv_queue_depth=depth),
+            )
+        ).aggregate_msgs_s
+
+    def both():
+        return run_window(2, 32), run_window(32, 32)
+
+    small, full = once(both)
+    benchmark.extra_info.update(window2=small, window32=full)
+    assert full > 1.25 * small

@@ -1,0 +1,9 @@
+"""Thin shim so legacy editable installs work offline (no `wheel` package).
+
+All real metadata lives in pyproject.toml.  Use:
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Reproduction of Mainwaring & Culler, "Design Challenges of Virtual
+Networks: Fast, General-Purpose Communication" (PPoPP 1999).
+
+A deterministic discrete-event simulation of the Berkeley NOW virtual
+network system: the Myrinet fabric, the LANai NI firmware with its
+endpoint frames and transport protocol, the Solaris endpoint segment
+driver (the four-state residency protocol), and the Active Messages II
+programming interface on top — plus the paper's workloads and a benchmark
+harness regenerating every figure.
+
+Entry points:
+
+>>> from repro import Cluster, ClusterConfig, build_parallel_vnet
+>>> cluster = Cluster(ClusterConfig(num_hosts=4))
+>>> vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "up")
+
+See README.md for the full tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from .cluster import Cluster, ClusterConfig
+from .am import (
+    Bundle,
+    Endpoint,
+    NameService,
+    VirtualNetwork,
+    build_parallel_vnet,
+    build_star_vnet,
+    create_endpoint,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bundle",
+    "Cluster",
+    "ClusterConfig",
+    "Endpoint",
+    "NameService",
+    "VirtualNetwork",
+    "build_parallel_vnet",
+    "build_star_vnet",
+    "create_endpoint",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Active Messages II over virtual networks: the paper's core contribution."""
+
+from .bundle import Bundle
+from .endpoint import AmStats, Endpoint, Token
+from .errors import AmError, BadTranslationError, EndpointFreedError
+from .names import NameService
+from .vnet import VirtualNetwork, build_parallel_vnet, build_star_vnet, create_endpoint
+
+__all__ = [
+    "AmError",
+    "AmStats",
+    "BadTranslationError",
+    "Bundle",
+    "Endpoint",
+    "EndpointFreedError",
+    "NameService",
+    "Token",
+    "VirtualNetwork",
+    "build_parallel_vnet",
+    "build_star_vnet",
+    "create_endpoint",
+]

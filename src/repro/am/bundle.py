@@ -1,0 +1,84 @@
+"""Endpoint bundles: a process's collection of endpoints.
+
+The AM-II interface groups a process's endpoints into bundles so a thread
+can service all of them with one call — the single-threaded server of
+Section 6.4 is exactly a loop over ``bundle.poll_all``.  Bundles also
+support waiting for activity on *any* member endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..osim.threads import CondVar, Thread
+from ..sim.core import AnyOf
+from .endpoint import Endpoint
+
+__all__ = ["Bundle"]
+
+
+class Bundle:
+    """An ordered collection of endpoints owned by one process."""
+
+    def __init__(self, endpoints: Optional[list[Endpoint]] = None):
+        self.endpoints: list[Endpoint] = list(endpoints or [])
+        self._next = 0
+
+    def add(self, ep: Endpoint) -> None:
+        self.endpoints.append(ep)
+
+    def remove(self, ep: Endpoint) -> None:
+        self.endpoints.remove(ep)
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self.endpoints)
+
+    def __iter__(self):
+        return iter(self.endpoints)
+
+    def poll_all(self, thr: Thread, limit_per_ep: int = 8) -> Generator:
+        """Poll every endpoint once, round-robin; returns total processed.
+
+        Each poll touches the endpoint (uncacheable when resident), so a
+        large bundle of resident endpoints is expensive to sweep — the
+        ST-96 effect of Section 6.4.
+        """
+        total = 0
+        n = len(self.endpoints)
+        for k in range(n):
+            ep = self.endpoints[(self._next + k) % n]
+            total += yield from ep.poll(thr, limit=limit_per_ep)
+        self._next = (self._next + 1) % max(1, n)
+        return total
+
+    def has_pending(self) -> bool:
+        return any(ep.has_pending() for ep in self.endpoints)
+
+    def wait_any(self, thr: Thread, timeout_ns: Optional[int] = None) -> Generator:
+        """Block until any member endpoint has work (or timeout).
+
+        Returns True when work is pending.  Uses each endpoint's event
+        mask; the caller then runs :meth:`poll_all`.
+        """
+        if not self.endpoints:
+            raise ValueError("wait on an empty bundle")
+        sim = self.endpoints[0].node.sim
+        spin_ns = round(self.endpoints[0].cfg.spin_before_block_us * 1_000)
+        spin_end = sim.now + spin_ns
+        while sim.now < spin_end:
+            if self.has_pending():
+                return True
+            for ep in self.endpoints:
+                yield from thr.compute(ep._poll_touch_ns())
+        if self.has_pending():
+            return True
+        waits = []
+        for ep in self.endpoints:
+            if not ep.state.event_mask:
+                ep.set_event_mask({"recv"})
+            waits.append(ep._event_cv.wait())
+        if timeout_ns is not None:
+            waits.append(sim.timeout(timeout_ns, "timeout"))
+        yield from thr.block(AnyOf(sim, waits))
+        return self.has_pending()

@@ -1,0 +1,421 @@
+"""The Active Messages II programming interface over virtual networks.
+
+This is the paper's core contribution seen from the application (Section
+3): communication is cast as split-phase remote procedure calls between
+*endpoints*.  A process may hold many endpoints; addressability and access
+rights among a collection of endpoints form a *virtual network*.
+
+The user-level :class:`Endpoint` wraps the shared
+:class:`~repro.nic.endpoint_state.EndpointState` with:
+
+* translation-table addressing: operations name destinations by small
+  integers; the protected NI stamps the key and the receiver verifies it;
+* the request/reply paradigm with **user-level credits** — at most
+  ``user_credits`` outstanding requests per translation entry, a credit
+  returning with each reply (every request handler replies; the library
+  issues a credit-only reply when the handler does not) — the lightweight
+  mechanism that normally prevents receive-queue overrun (Section 6.4);
+* bulk transfers fragmented at the MTU, reassembled at the receiver;
+* polling (:meth:`poll`) and event-driven (:meth:`wait`) reception with
+  endpoint event masks projected onto thread synchronization (§3.3);
+* the return-to-sender error model: undeliverable messages come back and
+  invoke the endpoint's undeliverable handler (§3.2).
+
+All blocking operations are generators executed inside a
+:class:`~repro.osim.threads.Thread` body; host CPU costs (send overhead
+Os, receive overhead Or, polling cost by residency) are charged here,
+which is where the LogP overheads of Figure 3 come from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..nic.endpoint_state import EndpointState, Residency
+from ..nic.message import Message, MsgKind
+from ..osim.threads import CondVar, Thread
+from ..sim.core import AnyOf, Event
+from .errors import AmError, BadTranslationError, EndpointFreedError
+
+if TYPE_CHECKING:
+    from ..cluster.builder import Node
+
+__all__ = ["Endpoint", "Token", "AmStats"]
+
+_transfer_ids = itertools.count(1)
+
+#: handler signature: handler(token, *args) -> Optional[int]
+#: (an int return value is charged to the polling thread as handler ns)
+Handler = Callable[..., Optional[int]]
+
+
+@dataclass
+class AmStats:
+    requests_sent: int = 0
+    replies_sent: int = 0
+    auto_replies: int = 0
+    requests_handled: int = 0
+    replies_handled: int = 0
+    bulk_bytes_sent: int = 0
+    bulk_bytes_received: int = 0
+    undeliverable: int = 0
+    credit_stalls: int = 0
+    ring_stalls: int = 0
+    polls: int = 0
+    wakeups: int = 0
+
+
+class Token:
+    """Receive-side handle passed to handlers; carries the reply path."""
+
+    __slots__ = ("endpoint", "src_node", "src_ep", "reply_key", "request_id", "nbytes", "replied", "_reply_spec")
+
+    def __init__(self, endpoint: "Endpoint", src_node: int, src_ep: int, reply_key: int, request_id: int, nbytes: int):
+        self.endpoint = endpoint
+        self.src_node = src_node
+        self.src_ep = src_ep
+        self.reply_key = reply_key
+        self.request_id = request_id
+        self.nbytes = nbytes
+        self.replied = False
+        self._reply_spec: Optional[tuple] = None
+
+    def reply(self, handler: Optional[Handler], *args: Any, nbytes: int = 0) -> None:
+        """Request handlers call this (at most once) to send the reply."""
+        if self.replied:
+            raise AmError("handler replied twice")
+        self.replied = True
+        self._reply_spec = (handler, args, nbytes)
+
+
+class Endpoint:
+    """User-level endpoint: the unit of network virtualization."""
+
+    def __init__(self, node: "Node", state: EndpointState):
+        self.node = node
+        self.state = state
+        self.cfg = node.cfg
+        self.nic = node.nic
+        self.driver = node.driver
+        self.stats = AmStats()
+
+        #: credits available per translation index (Section 6.4)
+        self._credits: dict[int, int] = {}
+        #: outstanding request id -> translation index (credit owner)
+        self._outstanding: dict[int, int] = {}
+        #: reassembly buffers: transfer_id -> [count, total, token parts]
+        self._reassembly: dict[int, list] = {}
+        self._event_cv = CondVar(node.sim, name=f"ep{state.ep_id}.ev")
+        state.event_callback = self._on_event
+        #: fn(msg, reason) invoked when a message is returned (§3.2)
+        self.undeliverable_handler: Optional[Callable[[Message, Any], None]] = None
+        #: default ns charged per handled message when a handler returns None
+        self.handler_cost_ns = 0
+
+    # ------------------------------------------------------------- identity
+    @property
+    def name(self) -> tuple[int, int]:
+        return self.state.name
+
+    @property
+    def tag(self) -> int:
+        return self.state.tag
+
+    def set_tag(self, key: int) -> None:
+        self.state.tag = key
+
+    def set_shared(self, shared: bool = True) -> None:
+        """Shared endpoints pay a lock cost per operation (Section 3.3)."""
+        self.state.shared = shared
+
+    def map(self, index: int, name: tuple[int, int], key: int) -> None:
+        """Install a translation: small integer -> (endpoint name, key)."""
+        node_id, ep_id = name
+        self.state.map_translation(index, node_id, ep_id, key)
+        self._credits.setdefault(index, self.cfg.user_credits)
+
+    def unmap(self, index: int) -> None:
+        self.state.unmap_translation(index)
+        self._credits.pop(index, None)
+
+    def credits_available(self, index: int) -> int:
+        return self._credits.get(index, 0)
+
+    # ----------------------------------------------------------- cost model
+    def _check_alive(self) -> None:
+        if self.state.residency is Residency.FREED:
+            raise EndpointFreedError(f"endpoint {self.name} freed")
+
+    def _lock_cost(self) -> int:
+        return self.cfg.shared_ep_lock_ns if self.state.shared else 0
+
+    def _poll_touch_ns(self) -> int:
+        """Cost of inspecting the endpoint: uncacheable NI SRAM when
+        resident, cacheable host memory otherwise (drives Figure 6 ST-96)."""
+        if self.state.resident:
+            return self.cfg.poll_resident_ns
+        return self.cfg.poll_host_ns
+
+    def _send_overhead_ns(self) -> int:
+        """LogP Os: descriptor write via PIO (resident) or a cacheable
+        store into the on-host image (non-resident)."""
+        if self.state.resident:
+            return self.cfg.host_send_overhead_ns
+        return self.cfg.host_write_nonresident_ns
+
+    # ================================================================= send
+    def request(
+        self,
+        thr: Thread,
+        index: int,
+        handler: Optional[Handler],
+        *args: Any,
+        nbytes: int = 0,
+    ) -> Generator:
+        """Issue an AM request (generator; blocks for credits/ring space).
+
+        Payloads above ``small_payload_max_bytes`` take the bulk path and
+        are fragmented at the MTU; every fragment consumes one credit.
+        """
+        self._check_alive()
+        entry = self.state.translation.get(index)
+        if entry is None:
+            raise BadTranslationError(f"no translation at index {index} on {self.name}")
+        mtu = self.cfg.mtu_bytes
+        is_bulk = nbytes > self.cfg.small_payload_max_bytes
+        if is_bulk:
+            nfrags = max(1, -(-nbytes // mtu))
+            tid = next(_transfer_ids)
+        else:
+            nfrags = 1
+            tid = None
+        sent = 0
+        for frag in range(nfrags):
+            frag_bytes = min(mtu, nbytes - sent) if is_bulk else nbytes
+            sent += frag_bytes
+            meta = {
+                "reply_key": self.state.tag,
+                "frag": (tid, frag, nfrags) if is_bulk else None,
+                "auto": False,
+            }
+            body = (handler, args, meta)
+            msg = Message(
+                src_node=self.state.node,
+                src_ep=self.state.ep_id,
+                dst_node=entry.dst_node,
+                dst_ep=entry.dst_ep,
+                key=entry.key,
+                kind=MsgKind.REQUEST,
+                payload_bytes=frag_bytes,
+                is_bulk=is_bulk,
+                body=body,
+            )
+            msg.on_resolved = self._request_resolved
+            yield from self._acquire_credit(thr, index)
+            self._outstanding[msg.msg_id] = index
+            self._credits[index] -= 1
+            yield from self._enqueue(thr, msg)
+            self.stats.requests_sent += 1
+            if is_bulk:
+                self.stats.bulk_bytes_sent += frag_bytes
+        return None
+
+    def _acquire_credit(self, thr: Thread, index: int) -> Generator:
+        """Spin (polling to drain replies) until a credit is available."""
+        while self._credits.get(index, 0) <= 0:
+            self.stats.credit_stalls += 1
+            processed = yield from self.poll(thr, limit=4)
+            if processed == 0:
+                yield from thr.compute(self.cfg.poll_host_ns)
+
+    def _enqueue(self, thr: Thread, msg: Message) -> Generator:
+        """Charge Os, write the descriptor, fault if non-resident."""
+        while True:
+            cost = self._send_overhead_ns() + self._lock_cost()
+            yield from thr.compute(cost)
+            if self.nic.host_enqueue_send(self.state, msg):
+                break
+            # Send ring full: drain some receive work and retry.
+            self.stats.ring_stalls += 1
+            processed = yield from self.poll(thr, limit=4)
+            if processed == 0:
+                yield from thr.compute(1_000)  # brief spin between polls
+        if not self.state.resident:
+            # Write fault path: on-host r/o -> r/w + schedule re-mapping
+            # (Figure 2); blocks here only under the §6.4.1 ablation.
+            yield from self.driver.write_fault(self.state, owner=thr)
+
+    def _request_resolved(self, msg: Message, delivered: bool) -> None:
+        """Transport resolution: on return-to-sender, refund the credit.
+
+        (Delivered requests refund their credit when the reply arrives.)
+        """
+        if not delivered:
+            index = self._outstanding.pop(msg.msg_id, None)
+            if index is not None and index in self._credits:
+                self._credits[index] += 1
+
+    def _send_reply(self, token: Token, handler: Optional[Handler], args: tuple, nbytes: int, auto: bool) -> Message:
+        meta = {
+            "reply_key": self.state.tag,
+            "frag": None,
+            "auto": auto,
+            "ack_for": token.request_id,
+        }
+        msg = Message(
+            src_node=self.state.node,
+            src_ep=self.state.ep_id,
+            dst_node=token.src_node,
+            dst_ep=token.src_ep,
+            key=token.reply_key,
+            kind=MsgKind.REPLY,
+            payload_bytes=nbytes,
+            is_bulk=nbytes > self.cfg.small_payload_max_bytes,
+            body=(handler, args, meta),
+        )
+        return msg
+
+    # ================================================================ receive
+    def poll(self, thr: Thread, limit: int = 8) -> Generator:
+        """Service arrived messages; returns how many were processed.
+
+        Charges the endpoint-touch cost even when nothing is pending —
+        polling many resident endpoints in uncacheable NI memory is
+        expensive (Section 6.4's ST-96 observation).
+        """
+        self._check_alive()
+        self.stats.polls += 1
+        yield from thr.compute(self._poll_touch_ns() + self._lock_cost())
+        processed = 0
+        while processed < limit:
+            msg = self.nic.host_poll_returned(self.state)
+            if msg is not None:
+                self._handle_returned(msg)
+                processed += 1
+                continue
+            msg = self.nic.host_poll_recv(self.state, replies=True)
+            if msg is not None:
+                yield from self._consume(thr, msg)
+                processed += 1
+                continue
+            msg = self.nic.host_poll_recv(self.state, replies=False)
+            if msg is not None:
+                yield from self._consume(thr, msg)
+                processed += 1
+                continue
+            break
+        return processed
+
+    def _consume(self, thr: Thread, msg: Message) -> Generator:
+        """Charge Or, run the handler, auto-reply if needed."""
+        yield from thr.compute(self.cfg.host_recv_overhead_ns)
+        handler, args, meta = msg.body if msg.body else (None, (), {})
+        if msg.kind is MsgKind.REPLY:
+            self.stats.replies_handled += 1
+            # Return the credit for the acknowledged request (§6.4).
+            index = self._outstanding.pop(meta.get("ack_for"), None)
+            if index is not None and index in self._credits:
+                self._credits[index] += 1
+            if handler is not None:
+                token = Token(self, msg.src_node, msg.src_ep, meta.get("reply_key", 0), msg.msg_id, msg.payload_bytes)
+                cost = handler(token, *args)
+                yield from self._charge_handler(thr, cost)
+            return
+        # --- request path ---
+        self.stats.requests_handled += 1
+        if msg.is_bulk:
+            self.stats.bulk_bytes_received += msg.payload_bytes
+        frag = meta.get("frag")
+        if frag is not None:
+            tid, i, n = frag
+            slot = self._reassembly.setdefault(tid, [0, n, 0])
+            slot[0] += 1
+            slot[2] += msg.payload_bytes
+            token = Token(self, msg.src_node, msg.src_ep, meta.get("reply_key", 0), msg.msg_id, msg.payload_bytes)
+            if slot[0] < n:
+                # Credit-only reply per fragment keeps the window moving.
+                yield from self._emit_reply(thr, token, None, (), 0, auto=True)
+                return
+            total_bytes = slot[2]
+            del self._reassembly[tid]
+            token.nbytes = total_bytes
+        else:
+            token = Token(self, msg.src_node, msg.src_ep, meta.get("reply_key", 0), msg.msg_id, msg.payload_bytes)
+        if handler is not None:
+            cost = handler(token, *args)
+            yield from self._charge_handler(thr, cost)
+        if token.replied and token._reply_spec is not None:
+            rhandler, rargs, rnbytes = token._reply_spec
+            yield from self._emit_reply(thr, token, rhandler, rargs, rnbytes, auto=False)
+        else:
+            # Library-issued credit reply (request handlers must reply).
+            yield from self._emit_reply(thr, token, None, (), 0, auto=True)
+
+    def _charge_handler(self, thr: Thread, cost: Optional[int]) -> Generator:
+        ns = cost if isinstance(cost, int) else self.handler_cost_ns
+        if ns:
+            yield from thr.compute(ns)
+
+    def _emit_reply(self, thr: Thread, token: Token, handler, args, nbytes: int, auto: bool) -> Generator:
+        msg = self._send_reply(token, handler, args, nbytes, auto)
+        if auto:
+            self.stats.auto_replies += 1
+        else:
+            self.stats.replies_sent += 1
+        yield from thr.compute(self._send_overhead_ns())
+        while not self.nic.host_enqueue_send(self.state, msg):
+            # The send ring is a fixed 64 descriptors (Section 5.2): when
+            # it is full the handler's reply spins, which stops this
+            # thread from draining further requests -- the coupling
+            # through which a saturated reply path backs pressure into the
+            # receive queue (and, past the credit window, into overrun
+            # NACKs: Figure 6b).
+            self._check_alive()
+            self.stats.ring_stalls += 1
+            yield from thr.compute(1_000)
+        if not self.state.resident:
+            yield from self.driver.write_fault(self.state, owner=thr)
+
+    def _handle_returned(self, msg: Message) -> None:
+        """An undeliverable message came back (Section 3.2)."""
+        self.stats.undeliverable += 1
+        if self.undeliverable_handler is not None:
+            self.undeliverable_handler(msg, msg.return_reason)
+
+    # ================================================================ events
+    def has_pending(self) -> bool:
+        st = self.state
+        return bool(st.recv_requests or st.recv_replies or st.returned)
+
+    def set_event_mask(self, kinds: set[str]) -> None:
+        """Sensitize the endpoint's synchronization variable (§3.3)."""
+        self.state.event_mask = set(kinds)
+
+    def _on_event(self, detail: Any) -> None:
+        self.stats.wakeups += 1
+        self._event_cv.broadcast(detail)
+
+    def wait(self, thr: Thread, timeout_ns: Optional[int] = None) -> Generator:
+        """Block until a masked event fires (two-phase: spin, then sleep).
+
+        Returns True if work is pending, False on timeout.  The spin phase
+        implements the implicit co-scheduling behaviour of Section 6.3.
+        """
+        self._check_alive()
+        if not self.state.event_mask:
+            self.set_event_mask({"recv"})
+        spin_ns = round(self.cfg.spin_before_block_us * 1_000)
+        spin_end = self.node.sim.now + spin_ns
+        while self.node.sim.now < spin_end:
+            if self.has_pending():
+                return True
+            yield from thr.compute(self._poll_touch_ns())
+        if self.has_pending():
+            return True
+        waits = [self._event_cv.wait()]
+        if timeout_ns is not None:
+            waits.append(self.node.sim.timeout(timeout_ns, "timeout"))
+        idx, _ = yield from thr.block(AnyOf(self.node.sim, waits))
+        return self.has_pending() or idx == 0

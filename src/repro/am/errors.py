@@ -1,0 +1,24 @@
+"""Error model of the virtual network interface (Section 3.2).
+
+The interface specifies exactly-once delivery barring unrecoverable
+transport conditions; undeliverable messages are *returned to their
+sender*, where they invoke an undeliverable-message handler, so
+applications choose whether to abort or re-issue without pessimistic
+time-outs in the common case.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AmError", "BadTranslationError", "EndpointFreedError"]
+
+
+class AmError(Exception):
+    """Base class for Active Message library errors."""
+
+
+class BadTranslationError(AmError):
+    """Communication attempted through an unmapped translation index."""
+
+
+class EndpointFreedError(AmError):
+    """Operation on an endpoint that has been freed."""

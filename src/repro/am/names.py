@@ -1,0 +1,36 @@
+"""Endpoint naming and rendezvous (Section 3.1).
+
+Endpoint names are opaque — here, ``(node_id, endpoint_id)`` tuples with no
+structure the library interprets — and can be obtained through *any*
+rendezvous mechanism.  :class:`NameService` is one such mechanism: a
+simple global registry mapping human-readable strings to (name, key)
+pairs, standing in for the cluster's directory service.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["NameService"]
+
+
+class NameService:
+    """String -> (endpoint name, protection key) rendezvous registry."""
+
+    def __init__(self) -> None:
+        self._registry: dict[str, tuple[tuple[int, int], int]] = {}
+
+    def register(self, label: str, name: tuple[int, int], key: int) -> None:
+        if label in self._registry:
+            raise ValueError(f"label {label!r} already registered")
+        self._registry[label] = (name, key)
+
+    def unregister(self, label: str) -> None:
+        self._registry.pop(label, None)
+
+    def lookup(self, label: str) -> Optional[tuple[tuple[int, int], int]]:
+        """Returns ((node, ep_id), key) or None."""
+        return self._registry.get(label)
+
+    def labels(self) -> list[str]:
+        return sorted(self._registry)

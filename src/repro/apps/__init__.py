@@ -1,0 +1,24 @@
+"""Applications and workloads: contention, NPB skeletons, timesharing, Linpack."""
+
+from .clientserver import CONFIG_NAMES, ContentionConfig, ContentionResult, run_contention
+from .linpack import LinpackModel, linpack_gflops
+from .npb import MACHINES, NPB_SPECS, NpbResult, analytic_time, run_npb, valid_proc_counts
+from .timeshare import TimeshareConfig, TimeshareResult, run_timeshare
+
+__all__ = [
+    "CONFIG_NAMES",
+    "ContentionConfig",
+    "ContentionResult",
+    "LinpackModel",
+    "MACHINES",
+    "NPB_SPECS",
+    "NpbResult",
+    "TimeshareConfig",
+    "TimeshareResult",
+    "analytic_time",
+    "linpack_gflops",
+    "run_contention",
+    "run_npb",
+    "run_timeshare",
+    "valid_proc_counts",
+]

@@ -1,0 +1,360 @@
+"""NAS Parallel Benchmarks 2.2 (Class A) communication skeletons (Figure 5).
+
+Each benchmark is modelled as (a) a serial computation time scaled by the
+processor count and a per-benchmark cache factor ("improved cache
+performance compensates for increased communication", §6.2), plus (b) the
+benchmark's real per-iteration *communication pattern*, executed through
+the mini-MPI layer on the simulated cluster — so FT's and IS's all-to-all
+transposes genuinely contend for the fabric's bisection, which is what
+caps their speedup in Figure 5.
+
+Problem sizes, iteration counts, and communication volumes follow the NPB
+2.2 Class A specifications; serial times are calibrated to paper-era
+UltraSPARC-1 rates (only the computation/communication *ratio* matters for
+speedup shape).
+
+For the cross-machine comparison (IBM SP-2, SGI Origin 2000) we provide
+analytic machine models over the same volume formulas — documented as
+modelled baselines in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from ..cluster.builder import Cluster
+from ..cluster.config import ClusterConfig
+from ..lib.mpi import Comm, build_world
+from ..sim.core import ms, seconds
+
+__all__ = [
+    "NPB_SPECS",
+    "NpbResult",
+    "NpbSpec",
+    "valid_proc_counts",
+    "run_npb",
+    "analytic_time",
+    "MACHINES",
+]
+
+DOUBLE = 8
+COMPLEX = 16
+
+
+@dataclass
+class NpbSpec:
+    name: str
+    #: serial (1-processor) Class A execution time, seconds
+    t1_seconds: float
+    #: total iterations in the real benchmark
+    iterations: int
+    #: per-processor cache-efficiency gain per doubling of p (§6.2's
+    #: superlinear compensation); comp(p) = t1/p * (1 - gain*log2(p))
+    cache_gain: float
+    #: allowed processor counts: "pow2" or "square"
+    layout: str
+    #: generator(comm, thr, p) performing ONE iteration's communication
+    comm_iter: Callable[..., Generator]
+    #: analytic volume model: (p) -> (total_bytes_per_rank, msgs_per_rank,
+    #: bisection_bytes_total) per iteration, for the machine models
+    volume: Callable[[int], tuple[float, float, float]]
+
+
+def _grid2d(p: int) -> tuple[int, int]:
+    q = int(round(math.sqrt(p)))
+    if q * q == p:
+        return q, q
+    qx = 1 << (int(math.log2(p)) // 2)
+    return qx, p // qx
+
+
+# ---------------------------------------------------------------- patterns
+def _neighbor_exchange(comm: Comm, thr, volume: int, neighbors: int = 4) -> Generator:
+    """Shift exchanges with grid neighbours (volume bytes each way)."""
+    n = comm.size
+    for k in range(1, neighbors + 1):
+        dest = (comm.rank + k) % n
+        src = (comm.rank - k) % n
+        yield from comm.sendrecv(thr, dest, src, ("nbr", k), volume)
+
+
+def _bt_sp_iter(scale: float):
+    def run(comm: Comm, thr, p: int) -> Generator:
+        if p == 1:
+            return
+        q, _ = _grid2d(p)
+        face = int(scale * 5 * DOUBLE * 64 * 64 / q)
+        # three solve sweeps, each exchanging faces with the grid
+        for _sweep in range(3):
+            yield from _neighbor_exchange(comm, thr, face, neighbors=2)
+
+    return run
+
+
+def _bt_sp_volume(scale: float):
+    def vol(p: int) -> tuple[float, float, float]:
+        if p == 1:
+            return (0.0, 0.0, 0.0)
+        q, _ = _grid2d(p)
+        face = scale * 5 * DOUBLE * 64 * 64 / q
+        per_rank = 3 * 2 * face
+        return (per_rank, 6.0, per_rank * p / 4)
+
+    return vol
+
+
+def _lu_iter(comm: Comm, thr, p: int) -> Generator:
+    """Pipelined wavefront: many small plane messages (latency bound)."""
+    if p == 1:
+        return
+    q, _ = _grid2d(p)
+    plane = max(64, int(5 * DOUBLE * 64 / q))
+    n = comm.size
+    succ = (comm.rank + 1) % n
+    pred = (comm.rank - 1) % n
+    # 2 sweeps x planes/4 pipeline steps (batched 4 planes per message)
+    steps = 2 * (64 // 4)
+    for k in range(steps):
+        yield from comm.sendrecv(thr, succ, pred, ("wave", k), plane * 4)
+
+
+def _lu_volume(p: int) -> tuple[float, float, float]:
+    if p == 1:
+        return (0.0, 0.0, 0.0)
+    q, _ = _grid2d(p)
+    plane = max(64, 5 * DOUBLE * 64 / q) * 4
+    steps = 2 * (64 // 4)
+    return (steps * plane, float(steps), steps * plane * p / 8)
+
+
+def _mg_iter(comm: Comm, thr, p: int) -> Generator:
+    """V-cycle: neighbour exchanges at halving grid levels + allreduce."""
+    if p == 1:
+        return
+    level_face = int(256 * 256 * DOUBLE / max(1, p))
+    while level_face >= 256:
+        yield from _neighbor_exchange(comm, thr, level_face, neighbors=2)
+        level_face //= 4
+    yield from comm.allreduce(thr, 0.0, lambda a, b: a + b, DOUBLE)
+
+
+def _mg_volume(p: int) -> tuple[float, float, float]:
+    if p == 1:
+        return (0.0, 0.0, 0.0)
+    total, msgs = 0.0, 0.0
+    face = 256 * 256 * DOUBLE / max(1, p)
+    while face >= 256:
+        total += 4 * face
+        msgs += 4
+        face /= 4
+    msgs += 2 * math.log2(max(2, p))
+    return (total, msgs, total * p / 4)
+
+
+def _ft_iter(comm: Comm, thr, p: int) -> Generator:
+    """3-D FFT: two full-array redistributions (all-to-all) per iteration."""
+    if p == 1:
+        return
+    total = 256 * 256 * 128 * COMPLEX  # 134 MB, the whole Class A array
+    per_pair = max(1024, int(total / (p * p)))
+    for _ in range(2):
+        values = [None] * p
+        yield from comm.alltoall(thr, values, per_pair)
+
+
+def _ft_volume(p: int) -> tuple[float, float, float]:
+    if p == 1:
+        return (0.0, 0.0, 0.0)
+    total = 2 * 256 * 256 * 128 * COMPLEX  # two redistributions
+    per_rank = total / p
+    return (per_rank, 2.0 * (p - 1), total / 2)
+
+
+def _is_iter(comm: Comm, thr, p: int) -> Generator:
+    """Bucket exchange: all-to-all of the key array + two allreduces."""
+    if p == 1:
+        return
+    total = (1 << 23) * 4  # 8.4M integer keys
+    per_pair = max(512, int(total / (p * p)))
+    yield from comm.allreduce(thr, 0, lambda a, b: (a or 0) + (b or 0), 1024)
+    values = [None] * p
+    yield from comm.alltoall(thr, values, per_pair)
+
+
+def _is_volume(p: int) -> tuple[float, float, float]:
+    if p == 1:
+        return (0.0, 0.0, 0.0)
+    total = (1 << 23) * 4
+    per_rank = total / p + 1024 * math.log2(max(2, p))
+    return (per_rank, float(p + 1), total / 2)
+
+
+def _cg_iter(comm: Comm, thr, p: int) -> Generator:
+    """Sparse mat-vec exchanges along rows/cols + dot-product reductions."""
+    if p == 1:
+        return
+    q, _ = _grid2d(p)
+    seg = int(14000 * DOUBLE / q)
+    for _ in range(2):
+        yield from _neighbor_exchange(comm, thr, seg, neighbors=1)
+        yield from comm.allreduce(thr, 0.0, lambda a, b: (a or 0) + (b or 0), DOUBLE)
+
+
+def _cg_volume(p: int) -> tuple[float, float, float]:
+    if p == 1:
+        return (0.0, 0.0, 0.0)
+    q, _ = _grid2d(p)
+    seg = 14000 * DOUBLE / q
+    per_rank = 2 * 2 * seg + 2 * DOUBLE * math.log2(max(2, p))
+    return (per_rank, 4 + 4 * math.log2(max(2, p)), per_rank * p / 4)
+
+
+def _ep_iter(comm: Comm, thr, p: int) -> Generator:
+    """Embarrassingly parallel: one tiny reduction."""
+    if p == 1:
+        return
+    yield from comm.allreduce(thr, 0.0, lambda a, b: (a or 0) + (b or 0), 10 * DOUBLE)
+
+
+def _ep_volume(p: int) -> tuple[float, float, float]:
+    if p == 1:
+        return (0.0, 0.0, 0.0)
+    return (80.0 * math.log2(max(2, p)), 2 * math.log2(max(2, p)), 80.0 * p)
+
+
+NPB_SPECS: dict[str, NpbSpec] = {
+    "bt": NpbSpec("bt", 4800.0, 200, 0.16, "square", _bt_sp_iter(1.0), _bt_sp_volume(1.0)),
+    "sp": NpbSpec("sp", 2900.0, 400, 0.14, "square", _bt_sp_iter(1.3), _bt_sp_volume(1.3)),
+    "lu": NpbSpec("lu", 3400.0, 250, 0.18, "pow2", _lu_iter, _lu_volume),
+    "mg": NpbSpec("mg", 110.0, 4, 0.08, "pow2", _mg_iter, _mg_volume),
+    "ft": NpbSpec("ft", 200.0, 6, 0.02, "pow2", _ft_iter, _ft_volume),
+    "is": NpbSpec("is", 30.0, 10, 0.0, "pow2", _is_iter, _is_volume),
+    "cg": NpbSpec("cg", 43.0, 15, 0.10, "pow2", _cg_iter, _cg_volume),
+    "ep": NpbSpec("ep", 760.0, 1, 0.0, "pow2", _ep_iter, _ep_volume),
+}
+
+
+def valid_proc_counts(name: str, max_p: int = 36) -> list[int]:
+    spec = NPB_SPECS[name]
+    if spec.layout == "square":
+        return [q * q for q in range(1, int(math.sqrt(max_p)) + 1)]
+    out, p = [], 1
+    while p <= max_p:
+        out.append(p)
+        p *= 2
+    return out
+
+
+@dataclass
+class NpbResult:
+    name: str
+    nprocs: int
+    comp_iter_s: float
+    comm_iter_s: float
+    time_s: float          # projected full-benchmark time
+    speedup: float
+    comm_fraction: float
+
+
+def _comp_iter_seconds(spec: NpbSpec, p: int) -> float:
+    base = spec.t1_seconds / spec.iterations
+    if p == 1:
+        return base
+    eff = max(0.3, 1.0 - spec.cache_gain * math.log2(p) / math.log2(64))
+    return base * eff / p
+
+
+def run_npb(
+    name: str,
+    nprocs: int,
+    cfg: Optional[ClusterConfig] = None,
+    iters_sim: int = 1,
+) -> NpbResult:
+    """Simulate ``iters_sim`` iterations of one benchmark on the cluster.
+
+    Computation time is charged analytically per rank; the communication
+    pattern runs for real through mini-MPI/AM/NIC/fabric, so contention
+    and bisection limits emerge.  The full-benchmark time is projected
+    from the measured per-iteration time.
+    """
+    spec = NPB_SPECS[name]
+    if nprocs not in valid_proc_counts(name, max(nprocs, 36)):
+        raise ValueError(f"{name} cannot run on {nprocs} processors ({spec.layout})")
+    comp_iter = _comp_iter_seconds(spec, nprocs)
+    if nprocs == 1:
+        t = spec.t1_seconds
+        return NpbResult(name, 1, comp_iter, 0.0, t, 1.0, 0.0)
+
+    base = cfg or ClusterConfig()
+    cluster = Cluster(base.with_(num_hosts=max(2, nprocs)))
+    world = cluster.run_process(build_world(cluster, list(range(nprocs))), "npb")
+    sim = cluster.sim
+    iter_times: list[int] = []
+
+    def main(thr, comm: Comm):
+        # warm endpoints + synchronize before timing
+        yield from comm.barrier(thr)
+        for _ in range(iters_sim):
+            t0 = sim.now
+            yield from spec.comm_iter(comm, thr, nprocs)
+            yield from comm.barrier(thr)
+            if comm.rank == 0:
+                iter_times.append(sim.now - t0)
+        return comm.comm_ns
+
+    threads = world.spawn(main, name=f"npb-{name}")
+    cluster.run(until=sim.now + seconds(120))
+    for t in threads:
+        if not t.finished:
+            raise RuntimeError(f"{name} p={nprocs}: rank thread did not finish")
+    comm_iter_s = sum(iter_times) / len(iter_times) / 1e9
+    time_s = spec.iterations * (comp_iter + comm_iter_s)
+    speedup = spec.t1_seconds / time_s
+    return NpbResult(
+        name,
+        nprocs,
+        comp_iter,
+        comm_iter_s,
+        time_s,
+        speedup,
+        comm_iter_s / (comp_iter + comm_iter_s),
+    )
+
+
+# ------------------------------------------------------- machine baselines
+@dataclass
+class Machine:
+    name: str
+    #: node speed relative to the UltraSPARC-1 (higher = faster node)
+    node_speed: float
+    #: per-message overhead, us
+    overhead_us: float
+    #: per-link bandwidth, MB/s
+    bandwidth_mb_s: float
+    #: bisection bandwidth per node pair, MB/s (caps all-to-all)
+    bisection_mb_s: float
+
+
+MACHINES = {
+    #: modelled baselines for Figure 5's cross-machine comparison
+    "sp2": Machine("IBM SP-2", 1.6, 40.0, 35.0, 30.0),
+    "origin2000": Machine("SGI Origin 2000", 2.2, 10.0, 150.0, 120.0),
+    "now": Machine("Berkeley NOW (analytic)", 1.0, 12.8, 44.0, 38.0),
+}
+
+
+def analytic_time(name: str, nprocs: int, machine: Machine) -> float:
+    """Projected Class A time on a modelled machine (seconds)."""
+    spec = NPB_SPECS[name]
+    comp = _comp_iter_seconds(spec, nprocs) / machine.node_speed
+    per_rank_bytes, msgs, bisection_bytes = spec.volume(nprocs)
+    comm = msgs * machine.overhead_us * 1e-6 + per_rank_bytes / (machine.bandwidth_mb_s * 1e6)
+    if bisection_bytes:
+        comm = max(comm, bisection_bytes / (machine.bisection_mb_s * 1e6 * max(1, nprocs)))
+    return spec.iterations * (comp + comm)
+
+
+def analytic_speedup(name: str, nprocs: int, machine: Machine) -> float:
+    return analytic_time(name, 1, machine) / analytic_time(name, nprocs, machine)

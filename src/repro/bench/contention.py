@@ -1,0 +1,137 @@
+"""Figures 6 and 7: client/server throughput under contention.
+
+Sweeps client counts across the five configurations of Section 6.4
+(OneVN, ST-8, ST-96, MT-8, MT-96) for small messages (Figure 6) or 8 KB
+bulk transfers (Figure 7), printing per-client and aggregate series plus
+the robustness counters (overrun NACKs, re-mappings/s).
+
+Paper shapes to compare against:
+  * Figure 6: server peak ~78K msg/s; OneVN gives proportional shares and
+    drops once the credit mechanism stops preventing overruns (75K->60K
+    between 2 and 3 clients); ST-8 dips when re-mapping begins past 8
+    clients; MT is resilient; 200-300 remaps/s sustain 50-75% of peak.
+  * Figure 7: OneVN ~42.8 MB/s aggregate; with 96 frames ST/MT surpass
+    OneVN (one-to-one connections avoid overruns); 8-frame configs drop
+    at 9 clients then degrade slowly.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..apps.clientserver import ContentionConfig, ContentionResult, run_contention
+from ..cluster.config import ClusterConfig
+from .reporting import format_table
+
+__all__ = ["sweep", "SweepResult", "FIG6_CONFIGS", "FIG7_CONFIGS", "main"]
+
+#: (label, mode, frames)
+FIG6_CONFIGS = [
+    ("OneVN", "one_vn", 8),
+    ("ST-8", "st", 8),
+    ("ST-96", "st", 96),
+    ("MT-8", "mt", 8),
+    ("MT-96", "mt", 96),
+]
+FIG7_CONFIGS = FIG6_CONFIGS
+
+DEFAULT_CLIENTS = [1, 2, 3, 4, 8, 12, 16]
+FULL_CLIENTS = [1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32]
+
+
+@dataclass
+class SweepResult:
+    msg_bytes: int
+    clients: list[int]
+    #: label -> list of ContentionResult (parallel to `clients`)
+    series: dict = field(default_factory=dict)
+
+    def aggregate_series(self, label: str) -> list[float]:
+        if self.msg_bytes:
+            return [r.aggregate_mb_s for r in self.series[label]]
+        return [r.aggregate_msgs_s for r in self.series[label]]
+
+    def per_client_series(self, label: str) -> list[float]:
+        out = []
+        for r in self.series[label]:
+            per = r.per_client_msgs_s
+            mean = sum(per) / len(per) if per else 0.0
+            out.append(mean * self.msg_bytes / 1e6 if self.msg_bytes else mean)
+        return out
+
+
+def sweep(
+    msg_bytes: int,
+    clients: Optional[Sequence[int]] = None,
+    configs=None,
+    duration_ms: float = 150.0,
+    warmup_ms: float = 100.0,
+    base: Optional[ClusterConfig] = None,
+    verbose: bool = False,
+) -> SweepResult:
+    clients = list(clients or DEFAULT_CLIENTS)
+    configs = configs or (FIG7_CONFIGS if msg_bytes else FIG6_CONFIGS)
+    result = SweepResult(msg_bytes=msg_bytes, clients=clients)
+    for label, mode, frames in configs:
+        runs = []
+        for n in clients:
+            r = run_contention(
+                ContentionConfig(
+                    nclients=n,
+                    msg_bytes=msg_bytes,
+                    mode=mode,
+                    frames=frames,
+                    duration_ms=duration_ms,
+                    warmup_ms=warmup_ms,
+                    base=base,
+                )
+            )
+            runs.append(r)
+            if verbose:
+                unit = "MB/s" if msg_bytes else "msg/s"
+                agg = r.aggregate_mb_s if msg_bytes else r.aggregate_msgs_s
+                print(
+                    f"  {label} x{n}: {agg:,.1f} {unit}"
+                    f"  overruns={r.overrun_nacks} remaps/s={r.remaps_per_s:.0f}"
+                )
+        result.series[label] = runs
+    return result
+
+
+def report(result: SweepResult) -> str:
+    unit = "MB/s" if result.msg_bytes else "msg/s"
+    fig = "Figure 7 (8KB bulk)" if result.msg_bytes else "Figure 6 (small messages)"
+    headers = ["clients"] + [label for label, _, _ in FIG6_CONFIGS if label in result.series]
+    rows = []
+    for i, n in enumerate(result.clients):
+        row = [n]
+        for label in headers[1:]:
+            row.append(result.aggregate_series(label)[i])
+        rows.append(row)
+    out = format_table(headers, rows, title=f"{fig}: aggregate server throughput [{unit}]")
+    # robustness line: remap rates for the 8-frame overcommitted points
+    for label in ("ST-8", "MT-8"):
+        if label in result.series:
+            rates = [f"{n}:{r.remaps_per_s:.0f}" for n, r in zip(result.clients, result.series[label]) if n > 8]
+            if rates:
+                out += f"\n {label} remaps/s past 8 clients: {', '.join(rates)} (paper: 200-300)"
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description="Figures 6/7 contention sweep")
+    parser.add_argument("--msg", choices=["small", "bulk"], default="small")
+    parser.add_argument("--full", action="store_true", help="full client counts (slow)")
+    parser.add_argument("--duration-ms", type=float, default=150.0)
+    args = parser.parse_args()
+    msg_bytes = 8192 if args.msg == "bulk" else 0
+    clients = FULL_CLIENTS if args.full else DEFAULT_CLIENTS
+    result = sweep(msg_bytes, clients, duration_ms=args.duration_ms, verbose=True)
+    print()
+    print(report(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Figure 5: NAS Parallel Benchmark speedups (Class A) through 32/36 procs.
+
+Runs each benchmark's communication skeleton on the simulated NOW and
+prints speedup series alongside the analytic SP-2 and Origin-2000 machine
+models.  Paper shapes: all but FT and IS show (near-)linear speedups on
+the NOW; FT and IS are limited by bisection bandwidth; NOW scalability
+beats the SP-2; Origin execution times are within 2x of the NOW's.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from ..apps.npb import MACHINES, NPB_SPECS, analytic_time, run_npb, valid_proc_counts
+from ..cluster.config import ClusterConfig
+from .reporting import format_series, format_table
+
+__all__ = ["speedup_series", "main", "DEFAULT_BENCHMARKS"]
+
+DEFAULT_BENCHMARKS = ["bt", "sp", "lu", "mg", "ft", "is", "cg", "ep"]
+
+
+def speedup_series(
+    name: str,
+    proc_counts: Optional[Sequence[int]] = None,
+    cfg: Optional[ClusterConfig] = None,
+) -> list[tuple[int, float, float]]:
+    """[(p, speedup, comm_fraction)] for one benchmark on the NOW."""
+    counts = list(proc_counts or valid_proc_counts(name, 36))
+    out = []
+    for p in counts:
+        r = run_npb(name, p, cfg=cfg)
+        out.append((p, r.speedup, r.comm_fraction))
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description="Figure 5: NPB speedups")
+    parser.add_argument("--benchmarks", nargs="*", default=DEFAULT_BENCHMARKS)
+    parser.add_argument("--max-procs", type=int, default=36)
+    args = parser.parse_args()
+
+    for name in args.benchmarks:
+        counts = valid_proc_counts(name, args.max_procs)
+        series = speedup_series(name, counts)
+        xs = [p for p, _, _ in series]
+        now = [s for _, s, _ in series]
+        commf = [f for _, _, f in series]
+        sp2 = [analytic_time(name, 1, MACHINES["sp2"]) / analytic_time(name, p, MACHINES["sp2"]) for p in xs]
+        origin = [
+            analytic_time(name, 1, MACHINES["origin2000"]) / analytic_time(name, p, MACHINES["origin2000"])
+            for p in xs
+        ]
+        rows = [
+            [p, p * 1.0, s_now, s_sp2, s_org, f * 100]
+            for p, s_now, s_sp2, s_org, f in zip(xs, now, sp2, origin, commf)
+        ]
+        print(
+            format_table(
+                ["procs", "ideal", "NOW (sim)", "SP-2 (model)", "Origin (model)", "comm %"],
+                rows,
+                title=f"NPB 2.2 {name.upper()} Class A speedups (Figure 5)",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

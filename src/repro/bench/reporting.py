@@ -1,0 +1,44 @@
+"""Plain-text table/series reporting for the benchmark harnesses.
+
+Every harness prints the same rows/series the paper's figures show, plus a
+"paper" column where the paper gives a number, so paper-vs-measured is
+visible at a glance (and recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+__all__ = ["format_table", "print_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    def fmt(x: Any) -> str:
+        if isinstance(x, float):
+            return f"{x:.2f}"
+        return str(x)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> None:
+    print(format_table(headers, rows, title=title))
+    print()
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any], unit: str = "") -> str:
+    pts = ", ".join(f"{x}:{y:.1f}" if isinstance(y, float) else f"{x}:{y}" for x, y in zip(xs, ys))
+    suffix = f" [{unit}]" if unit else ""
+    return f"{name}{suffix}: {pts}"

@@ -1,0 +1,316 @@
+"""Cluster configuration: every calibration constant in one place.
+
+The paper's testbed (Section 2): 100 x 167 MHz UltraSPARC-1, Solaris 2.6,
+Myrinet with 25 switches / 185 links in a fat-tree-like topology, ~300 ns
+cut-through switch latency, 1.2 Gb/s bidirectional ports, LANai 4.3 NICs
+(37.5 MHz embedded CPU, 1 MB SRAM, send/receive network DMA engines and one
+SBus DMA engine).  The constants below parameterize our discrete-event
+models of those parts; defaults are calibrated so the microbenchmarks land
+near the paper's measured numbers (Figures 3 and 4) and the macrobenchmark
+*shapes* (Figures 5-7) follow.
+
+Derived quantities (instruction times, byte times) are exposed as
+properties so a config edit stays consistent everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..sim.core import NS_PER_S, us
+
+__all__ = ["ClusterConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass
+class ClusterConfig:
+    # ------------------------------------------------------------- topology
+    num_hosts: int = 100
+    #: hosts per leaf switch in the fat-tree builder (Myrinet 8-port
+    #: switches: 4 host ports + 4 up ports, paper-era NOW configuration)
+    switch_radix: int = 8
+    seed: int = 1999
+
+    # ----------------------------------------------------------------- wire
+    #: link bandwidth, bits per second per direction (1.2 Gb/s, Section 2)
+    link_bandwidth_bps: float = 1.2e9
+    #: per-switch cut-through latency (≈300 ns, Section 2)
+    switch_latency_ns: int = 300
+    #: cable propagation + NI-to-wire latency per hop endpoint
+    cable_latency_ns: int = 40
+    #: link-level packet header bytes (route, CRC, type, channel, seq,
+    #: 32-bit timestamp -- Section 5.1)
+    packet_header_bytes: int = 24
+    #: maximum transmission unit for AM-II (64 max-size sends ≈ 4 ms, §5.2)
+    mtu_bytes: int = 8192
+
+    # ----------------------------------------------------------------- SBus
+    #: asymmetric DMA rates (Figure 4): NI writing host memory tops out at
+    #: 46.8 MB/s; NI reading host memory is a little faster.
+    sbus_write_mb_s: float = 46.8
+    sbus_read_mb_s: float = 52.0
+    #: fixed startup cost per DMA transfer
+    sbus_dma_startup_ns: int = 1_000
+    #: host programmed-I/O cost per 64-byte line moved to/from NI SRAM
+    pio_line_ns: int = 600
+
+    # ---------------------------------------------------------------- LANai
+    #: LANai 4.3 clock (37.5 MHz => 26.67 ns per instruction)
+    lanai_mhz: float = 37.5
+    #: instruction budgets for firmware operations (calibrated; Figure 3).
+    #: The per-direction occupancy of a small message is ~6.4 us, so a
+    #: request+reply pair costs ~12.8 us per NI -- which is simultaneously
+    #: the measured LogP gap and the 78K msg/s server ceiling of Figure 6.
+    #: Latency-path cost of pushing one small message to the wire:
+    ni_send_instr: int = 94
+    #: post-send bookkeeping (timer arm, ring advance) off the latency path:
+    ni_send_post_instr: int = 82
+    #: latency-path cost of receiving + delivering one small message:
+    ni_recv_instr: int = 112
+    #: post-receive bookkeeping plus ACK generation:
+    ni_ack_gen_instr: int = 90
+    #: processing an incoming ACK (timer cancel, descriptor free, credit):
+    ni_ack_proc_instr: int = 64
+    #: processing an incoming NACK:
+    ni_nack_proc_instr: int = 70
+    #: bulk receive completion (reprogramming the staging DMA, descriptor
+    #: completion) charged while the SBus engine is still held — the
+    #: per-packet overhead behind Figure 4's 93%-of-hardware ceiling
+    ni_bulk_complete_instr: int = 210
+    #: extra defensive error checking of virtualization (~1.1 us on L and g,
+    #: Section 6.1); charged on the receive latency path.
+    ni_errcheck_instr: int = 38
+    #: per-descriptor cost of scanning an empty/ineligible endpoint
+    ni_poll_ep_instr: int = 14
+    #: NI receive staging FIFO (packets the receive DMA engine has pulled
+    #: off the wire into SRAM awaiting firmware dispatch).  Generous: the
+    #: engine drains the wire at link speed, and sender populations are
+    #: credit-bounded; only a pathological flood fills it, at which point
+    #: link-level backpressure holds packets in the network ("congestion
+    #: rapidly spreads", Section 2)
+    ni_rx_fifo_packets: int = 4096
+    #: servicing one driver (system-endpoint) request
+    ni_driver_op_instr: int = 220
+
+    # --------------------------------------------------- first-gen AM (GAM)
+    #: the single-endpoint baseline skips the transport protocol entirely;
+    #: per-direction occupancy ~2.9 us, so request+reply gap ~5.8 us and
+    #: the virtualization gap ratio lands at the paper's 2.21x.
+    gam_ni_send_instr: int = 70
+    gam_ni_send_post_instr: int = 39
+    gam_ni_recv_instr: int = 85
+    gam_ni_recv_post_instr: int = 24
+    #: GAM fragments bulk transfers at 4 KB and does not pipeline descriptor
+    #: processing with the store-and-forward staging delay (Section 6.1)
+    gam_mtu_bytes: int = 4096
+    gam_bulk_extra_us: float = 8.0
+
+    # ----------------------------------------------------------------- host
+    #: host CPU clock (167 MHz UltraSPARC-1)
+    host_mhz: float = 167.0
+    #: LogP send overhead Os: writing an AM-II message descriptor to a
+    #: resident endpoint with PIO (bigger descriptors than GAM, Section 6.1)
+    host_send_overhead_ns: int = 2_400
+    gam_host_send_overhead_ns: int = 1_600
+    #: LogP receive overhead Or: AM-II reads the whole descriptor with one
+    #: VIS block load; GAM reads word-by-word (Section 6.1)
+    host_recv_overhead_ns: int = 2_400
+    gam_host_recv_overhead_ns: int = 3_200
+    #: polling an endpoint that is resident (uncacheable NI SRAM read) vs
+    #: non-resident (cacheable host memory) -- drives Figure 6 ST-96
+    poll_resident_ns: int = 800
+    poll_host_ns: int = 80
+    #: writing a descriptor into a non-resident (on-host r/w) endpoint
+    host_write_nonresident_ns: int = 300
+    #: mutex acquire+release around shared-endpoint operations (§3.3)
+    shared_ep_lock_ns: int = 400
+    #: scheduler time slice (Solaris TS class, order 10 ms)
+    cpu_quantum_ns: int = 10_000_000
+    #: context switch cost
+    context_switch_ns: int = 10_000
+    #: thread wakeup via event mask notification (NI -> driver -> cv signal)
+    event_notify_ns: int = 25_000
+    #: page-fault trap cost (endpoint write fault, Section 4.2)
+    host_fault_us: float = 18.0
+    #: paging a swapped endpoint back from disk (on-disk state, Figure 2)
+    disk_pagein_us: float = 6_000.0
+    #: allocating an endpoint (segment creation, driver registration)
+    ep_alloc_us: float = 250.0
+    #: driver proxy thread handling one NI notification (software fault)
+    proxy_fault_us: float = 15.0
+    #: two-phase waiting: spin this long before blocking (implicit
+    #: co-scheduling, Section 6.3)
+    spin_before_block_us: float = 50.0
+
+    # ------------------------------------------------------------ transport
+    #: logical stop-and-wait flow-control channels per NI pair (Section
+    #: 5.1).  With 32 channels a client can keep a full credit window in
+    #: flight; one client's window fits the 32-deep receive queue, two
+    #: mostly fit once pipeline population is subtracted, and a third
+    #: pins the queue full and triggers persistent overrun NACKing --
+    #: Figure 6b's 75K->60K crossover between 2 and 3 clients.
+    channels_per_pair: int = 32
+    #: base retransmission timeout; randomized exponential backoff doubles
+    #: it (with jitter) per consecutive retransmission.  Static and
+    #: conservative, like the paper's firmware (RTT estimation is listed
+    #: as future work in its conclusions): it must exceed the worst-case
+    #: acknowledgment latency when dozens of credit windows queue at one
+    #: hot receiver (32 clients x 32 credits x 6.4 us/msg ~ 6.6 ms), or
+    #: healthy transfers get duplicated.  Losses therefore recover in
+    #: ~10-20 ms -- rare on Myrinet; all *fast* retry behaviour rides the
+    #: explicit NACK paths below.  Explicit NACKs —
+    #: not this timer — drive all fast-retry behaviour.
+    retrans_timeout_us: float = 8_000.0
+    #: fast retry after an explicit receive-queue-overrun NACK: the
+    #: receiver told us the queue was full, so retry at drain speed
+    overrun_retry_us: float = 30.0
+    #: retry after a not-resident NACK: paced to the driver's re-mapping
+    #: latency (the retry lands shortly after the endpoint is loaded)
+    not_resident_retry_us: float = 800.0
+    #: delay before an unbound message reacquires a channel (§5.1): prompt
+    #: -- unbinding exists to free the channel, not to delay the message
+    rebind_delay_us: float = 400.0
+
+    # ------------------------------------------- future-work extensions
+    #: the paper's conclusions propose round-trip-time estimation for
+    #: scheduling retransmissions (the 32-bit reflected timestamps exist
+    #: for this).  Off by default to match the published system.
+    enable_rtt_estimation: bool = False
+    #: minimum adaptive timeout when RTT estimation is on
+    rtt_min_timeout_us: float = 60.0
+    #: the conclusions also propose piggybacking acknowledgments on
+    #: reverse-direction data packets to reduce network occupancy
+    enable_piggyback_acks: bool = False
+    #: how long a pending acknowledgment may wait for a ride
+    piggyback_delay_us: float = 15.0
+    retrans_backoff_max_us: float = 4_000.0
+    #: extra retransmission-timeout allowance per payload byte (covers the
+    #: staging DMAs and wire time of bulk packets so the timer does not
+    #: fire while a healthy bulk transfer is still in flight)
+    bulk_timeout_ns_per_byte: float = 150.0
+    #: consecutive retransmissions before a message is unbound from its
+    #: channel so the channel can be reused (Section 5.1)
+    max_consecutive_retrans: int = 8
+    #: total time without any acknowledgment before a message is returned
+    #: to its sender as undeliverable (Section 3.2); kept short so tests run
+    dead_timeout_ms: float = 50.0
+    #: receive-queue depth per endpoint => user-level credits (Section 6.4)
+    recv_queue_depth: int = 32
+    send_ring_depth: int = 64
+    #: user-level request credits per translation-table entry
+    user_credits: int = 32
+    #: payloads up to this size travel inside the descriptor (host PIO into
+    #: the endpoint frame); larger ones take the bulk SBus-DMA path
+    small_payload_max_bytes: int = 128
+
+    # ----------------------------------------------------- service discipline
+    #: weighted round-robin loiter budget (Section 5.2): at most 64 messages
+    #: or ~4 ms on one endpoint before moving on
+    wrr_max_msgs: int = 64
+    wrr_max_ns: int = 4_000_000
+
+    # ------------------------------------------------------------ residency
+    #: endpoint frames on the NI (8 on LANai 4.3; 96 on newer boards)
+    endpoint_frames: int = 8
+    #: bytes per endpoint frame (64 KB reserved for 8 frames, Section 4.1)
+    frame_bytes: int = 8192
+    #: NI SRAM size (1 MB, Section 2)
+    ni_sram_bytes: int = 1 << 20
+    #: driver-side latencies of the residency protocol (Section 4): these
+    #: give the paper's observed 200-300 remaps/s under thrash
+    remap_quiesce_us: float = 900.0
+    remap_transfer_us: float = 350.0
+    #: CPU consumed by the driver per re-mapping (host cycles actually
+    #: burned; modest, or the remap thread would starve the application)
+    remap_driver_overhead_us: float = 400.0
+    #: additional off-CPU latency per re-mapping (lock synchronization,
+    #: interrupt round-trips); with the DMAs and quiesce this serializes
+    #: the background thread to the paper's 200-300 remaps/s
+    remap_sync_latency_us: float = 2_200.0
+    #: background remap kernel thread service period
+    remap_scan_period_us: float = 200.0
+    #: endpoint replacement policy: "random" (the paper's choice) or "lru"
+    replacement_policy: str = "random"
+    #: §6.4.1 ablation: with False, a write fault blocks the faulting
+    #: thread synchronously until the endpoint is resident
+    enable_onhost_rw: bool = True
+
+    # --------------------------------------------------------------- faults
+    #: transient packet loss probability (transmission errors are rare on
+    #: Myrinet; raise this in robustness tests)
+    packet_loss_prob: float = 0.0
+    packet_corrupt_prob: float = 0.0
+
+    # ------------------------------------------------------------- derived
+    @property
+    def lanai_instr_ns(self) -> float:
+        """Nanoseconds per LANai instruction."""
+        return 1_000.0 / self.lanai_mhz
+
+    def lanai_ns(self, instructions: int) -> int:
+        """Time for an instruction budget on the LANai, in ns."""
+        return round(instructions * self.lanai_instr_ns)
+
+    @property
+    def link_byte_ns(self) -> float:
+        """Wire time per byte on one link."""
+        return 8.0 * NS_PER_S / self.link_bandwidth_bps / 1.0
+
+    def wire_ns(self, nbytes: int) -> int:
+        """Serialization time of ``nbytes`` on one link."""
+        return round(nbytes * self.link_byte_ns)
+
+    def sbus_write_ns(self, nbytes: int) -> int:
+        """NI -> host-memory DMA time (the 46.8 MB/s Figure 4 ceiling)."""
+        return self.sbus_dma_startup_ns + round(nbytes * 1_000.0 / self.sbus_write_mb_s)
+
+    def sbus_read_ns(self, nbytes: int) -> int:
+        """Host-memory -> NI DMA time."""
+        return self.sbus_dma_startup_ns + round(nbytes * 1_000.0 / self.sbus_read_mb_s)
+
+    def pio_ns(self, nbytes: int) -> int:
+        """Host programmed-I/O time for ``nbytes`` (64-byte lines)."""
+        lines = max(1, (nbytes + 63) // 64)
+        return lines * self.pio_line_ns
+
+    @property
+    def retrans_timeout_ns(self) -> int:
+        return us(self.retrans_timeout_us)
+
+    @property
+    def dead_timeout_ns(self) -> int:
+        return round(self.dead_timeout_ms * 1_000_000)
+
+    def with_(self, **kwargs) -> "ClusterConfig":
+        """Return a copy with fields replaced (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Sanity-check invariants; raises ValueError on nonsense."""
+        if self.num_hosts < 1:
+            raise ValueError("num_hosts must be >= 1")
+        if self.mtu_bytes <= self.packet_header_bytes:
+            raise ValueError("mtu must exceed header size")
+        if self.endpoint_frames < 1:
+            raise ValueError("need at least one endpoint frame")
+        if self.endpoint_frames * self.frame_bytes > self.ni_sram_bytes:
+            raise ValueError("endpoint frames exceed NI SRAM")
+        if self.recv_queue_depth < 1 or self.send_ring_depth < 1:
+            raise ValueError("queue depths must be positive")
+        if self.user_credits > self.recv_queue_depth:
+            raise ValueError(
+                "user credits must not exceed the receive queue depth "
+                "(credits exist to prevent queue overrun, Section 6.4)"
+            )
+        if self.replacement_policy not in ("random", "lru"):
+            raise ValueError(f"unknown replacement policy {self.replacement_policy!r}")
+        if not (0.0 <= self.packet_loss_prob <= 1.0):
+            raise ValueError("packet_loss_prob must be a probability")
+        if not (0.0 <= self.packet_corrupt_prob <= 1.0):
+            raise ValueError("packet_corrupt_prob must be a probability")
+        if self.channels_per_pair < 1:
+            raise ValueError("need at least one flow-control channel")
+
+
+DEFAULT_CONFIG = ClusterConfig()

@@ -1,0 +1,7 @@
+"""Hardware models: host CPU, SBus DMA engine, LANai cost accounting."""
+
+from .host import Cpu
+from .lanai import LanaiMeter
+from .sbus import SbusDma
+
+__all__ = ["Cpu", "LanaiMeter", "SbusDma"]

@@ -1,0 +1,190 @@
+"""Host processor model: a single time-sliced CPU per workstation.
+
+Threads consume CPU by delegating to :meth:`Cpu.compute` from inside their
+simulation process (``yield from cpu.compute(ns, owner=thread)``).  The
+scheduler is lease-based, like a real quantum scheduler: the running
+thread *keeps* the CPU across consecutive short computations until its
+quantum expires or it blocks (``release_lease``), at which point the next
+runnable thread is granted the CPU and charged a context switch.  Threads
+that block without releasing (a raw event wait) lose the CPU at lease
+expiry at the latest.
+
+Two priority levels model Solaris kernel threads: ``priority=1`` work
+(the segment driver's remap and proxy threads) preempts user threads at
+the next slice boundary — slices are capped at ``max_slice_ns`` so the
+preemption latency is bounded well below the quantum.
+
+This is what makes time-shared workloads (Section 6.3) and the polling
+server configurations (Section 6.4) behave like they did on Solaris: a
+single-threaded server monopolizes its quantum against other *user*
+threads, but endpoint re-mapping still makes progress underneath it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from ..sim.core import Event, Simulator
+
+__all__ = ["Cpu"]
+
+
+class Cpu:
+    """One processor: quantum leases, two-level run queue, preemption."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        quantum_ns: int,
+        context_switch_ns: int = 0,
+        name: str = "cpu",
+        max_slice_ns: int = 1_000_000,
+    ):
+        self.sim = sim
+        self.name = name
+        self.quantum_ns = int(quantum_ns)
+        self.context_switch_ns = int(context_switch_ns)
+        #: preemption granularity: a running slice is at most this long
+        self.max_slice_ns = min(int(max_slice_ns), self.quantum_ns)
+        self._holder: Any = None
+        self._holder_priority = 0
+        self._last_owner: Any = None
+        self._expiry = 0
+        self._in_slice = False
+        self._queue: Deque[tuple[Event, Any]] = deque()
+        self._hi_queue: Deque[tuple[Event, Any]] = deque()
+        self._check_scheduled = False
+        self.busy_ns = 0
+        self.switches = 0
+
+    @property
+    def runnable(self) -> int:
+        """Threads holding or queued for the CPU."""
+        held = 1 if self._holder is not None else 0
+        return held + len(self._queue) + len(self._hi_queue)
+
+    # ------------------------------------------------------------ internals
+    def _grant(self, owner: Any, priority: int) -> bool:
+        """Give the lease to ``owner``; True if this is an owner change."""
+        changed = self._last_owner is not None and self._last_owner is not owner
+        self._holder = owner
+        self._holder_priority = priority
+        self._last_owner = owner
+        self._expiry = self.sim.now + self.quantum_ns
+        if changed:
+            self.switches += 1
+        return changed
+
+    def _handoff_next(self) -> None:
+        """Grant the lease to the next queued thread (kernel work first)."""
+        for queue, prio in ((self._hi_queue, 1), (self._queue, 0)):
+            while queue:
+                ev, owner = queue.popleft()
+                if ev.triggered:
+                    continue
+                changed = self._grant(owner, prio)
+                ev.trigger(self.context_switch_ns if changed else 0)
+                return
+        self._holder = None
+
+    def _schedule_expiry_check(self) -> None:
+        if self._check_scheduled:
+            return
+        self._check_scheduled = True
+        delay = max(0, self._expiry - self.sim.now)
+        self.sim.schedule(delay, self._expiry_check)
+
+    def _expiry_check(self) -> None:
+        """Preempt an idle (blocked) leaseholder once its quantum is up."""
+        self._check_scheduled = False
+        if self._in_slice or (not self._queue and not self._hi_queue):
+            return
+        if self.sim.now >= self._expiry:
+            self._holder = None
+            self._handoff_next()
+        else:
+            self._schedule_expiry_check()
+
+    def _should_yield(self, priority: int) -> bool:
+        """After a slice: must the holder hand the CPU over?"""
+        if priority == 0 and self._hi_queue:
+            return True  # kernel work preempts at slice granularity
+        if (self._queue or self._hi_queue) and self.sim.now >= self._expiry:
+            return True
+        return False
+
+    def _acquire(self, owner: Any, priority: int) -> Generator:
+        """Obtain the lease; yields while queued. Returns switch cost ns."""
+        while True:
+            if self._holder is owner:
+                if self.sim.now >= self._expiry:
+                    if self._queue or self._hi_queue:
+                        self._holder = None
+                        self._handoff_next()
+                        continue
+                    self._expiry = self.sim.now + self.quantum_ns  # renew
+                return 0
+            if self._holder is None and not self._queue and not self._hi_queue:
+                changed = self._grant(owner, priority)
+                return self.context_switch_ns if changed else 0
+            if (
+                priority > self._holder_priority
+                and self._holder is not None
+                and not self._in_slice
+            ):
+                # Holder is off-CPU (blocked/idle): kernel work steals now.
+                changed = self._grant(owner, priority)
+                return self.context_switch_ns if changed else 0
+            ev = Event(self.sim, name=f"{self.name}.grant")
+            (self._hi_queue if priority else self._queue).append((ev, owner))
+            if not self._in_slice:
+                self._schedule_expiry_check()
+            switch_ns = yield ev
+            return switch_ns or 0
+
+    # ------------------------------------------------------------ public API
+    def compute(self, ns: int, owner: Any = None, priority: int = 0) -> Generator:
+        """Consume ``ns`` of CPU, preemptible at slice boundaries.
+
+        Consecutive computations by the lease holder run back-to-back with
+        no scheduling cost; a granted owner change pays the context
+        switch.  ``priority=1`` marks kernel work that preempts user
+        threads within ``max_slice_ns``.
+        """
+        remaining = int(ns)
+        if remaining <= 0:
+            return
+        if owner is None:
+            owner = object()  # anonymous: still serializes on the CPU
+        while remaining > 0:
+            switch_ns = yield from self._acquire(owner, priority)
+            if switch_ns:
+                self._in_slice = True
+                yield self.sim.timeout(switch_ns)
+                self._in_slice = False
+                self.busy_ns += switch_ns
+            slice_ns = min(remaining, self.max_slice_ns, max(1, self._expiry - self.sim.now))
+            self._in_slice = True
+            yield self.sim.timeout(slice_ns)
+            self._in_slice = False
+            self.busy_ns += slice_ns
+            if hasattr(owner, "cpu_ns"):
+                owner.cpu_ns += slice_ns  # per-thread CPU accounting
+            remaining -= slice_ns
+            if self._should_yield(priority):
+                self._holder = None
+                self._handoff_next()
+
+    def release_lease(self, owner: Any) -> None:
+        """Voluntarily yield the CPU (called when a thread blocks)."""
+        if self._holder is owner and not self._in_slice:
+            self._holder = None
+            self._handoff_next()
+
+    def utilization(self, elapsed_ns: Optional[int] = None) -> float:
+        """Fraction of time the CPU was busy (since t=0 by default)."""
+        total = elapsed_ns if elapsed_ns is not None else self.sim.now
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / total)

@@ -1,0 +1,78 @@
+"""SBus DMA engine model.
+
+The LANai 4.3 has a *single* DMA engine for SBus transfers (Section 2), so
+host<->NI data movement in both directions serializes on one resource.
+Transfer rates are asymmetric (Figure 4): the NI writes host memory at
+46.8 MB/s and reads it somewhat faster.  This asymmetry — and the fact
+that the engine is shared between the send and receive paths — produces
+the paper's bandwidth ceiling and the multi-client bulk behaviour of
+Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..cluster.config import ClusterConfig
+from ..sim.core import Simulator
+from ..sim.resources import Resource
+
+__all__ = ["SbusDma"]
+
+
+class SbusDma:
+    """The shared SBus DMA engine of one network interface."""
+
+    #: transfer directions
+    READ = "read"    # host memory -> NI SRAM (send path)
+    WRITE = "write"  # NI SRAM -> host memory (receive path)
+
+    def __init__(self, sim: Simulator, cfg: ClusterConfig, name: str = "sbus"):
+        self.sim = sim
+        self.cfg = cfg
+        self.name = name
+        self._engine = Resource(sim, capacity=1, name=f"{name}.dma")
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.transfers = 0
+        self.busy_ns = 0
+
+    def transfer_ns(self, nbytes: int, direction: str) -> int:
+        """Duration of one DMA transfer, including startup."""
+        if direction == self.READ:
+            return self.cfg.sbus_read_ns(nbytes)
+        if direction == self.WRITE:
+            return self.cfg.sbus_write_ns(nbytes)
+        raise ValueError(f"unknown DMA direction {direction!r}")
+
+    def acquire(self):
+        """Contend for the engine (use with :meth:`hold`/:meth:`release`)."""
+        return self._engine.acquire()
+
+    def hold(self, nbytes: int, direction: str) -> Generator:
+        """Run one transfer while already holding the engine."""
+        duration = self.transfer_ns(nbytes, direction)
+        yield self.sim.timeout(duration)
+        self.busy_ns += duration
+        self.transfers += 1
+        if direction == self.READ:
+            self.bytes_read += nbytes
+        else:
+            self.bytes_written += nbytes
+
+    def release(self) -> None:
+        self._engine.release()
+
+    def transfer(self, nbytes: int, direction: str) -> Generator:
+        """Move ``nbytes`` across the SBus; blocks while the engine is busy."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        yield self._engine.acquire()
+        yield from self.hold(nbytes, direction)
+        self._engine.release()
+
+    def utilization(self, elapsed_ns: int | None = None) -> float:
+        total = elapsed_ns if elapsed_ns is not None else self.sim.now
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / total)

@@ -1,0 +1,24 @@
+"""Upper-layer libraries over Active Messages: mini-MPI, Split-C ops, RPC."""
+
+from .mpi import ANY, Comm, World, build_world
+from .rpc import RpcClient, RpcError, RpcServer
+from .splitc import SplitCContext, SplitCWorld, build_splitc_world
+from .via import CompletionQueue, Vi, connect_vis, create_vi, full_mesh_vis
+
+__all__ = [
+    "ANY",
+    "Comm",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
+    "CompletionQueue",
+    "SplitCContext",
+    "SplitCWorld",
+    "Vi",
+    "connect_vis",
+    "create_vi",
+    "full_mesh_vis",
+    "World",
+    "build_splitc_world",
+    "build_world",
+]

@@ -1,0 +1,20 @@
+"""Myrinet fabric model: packets, links, switches, topology, fault injection."""
+
+from .fault import FaultInjector
+from .link import DirectedLink
+from .network import Network, NetworkStats
+from .packet import NackReason, Packet, PacketType
+from .switch import Switch
+from .topology import FatTreeTopology
+
+__all__ = [
+    "DirectedLink",
+    "FatTreeTopology",
+    "FaultInjector",
+    "NackReason",
+    "Network",
+    "NetworkStats",
+    "Packet",
+    "PacketType",
+    "Switch",
+]

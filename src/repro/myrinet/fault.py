@@ -1,0 +1,82 @@
+"""Fault injection: transient loss, corruption, hot-swap, node crashes.
+
+The delivery model (Section 3.2) promises that the substrate masks
+transient transport and reconfiguration errors while surfacing serious
+conditions (remote crash, nonexistent endpoint) through return-to-sender.
+This module provides the adversary: it flips links and switches up/down on
+a schedule, adjusts loss/corruption probabilities, and crashes/reboots
+nodes, so the robustness tests can check both halves of the promise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.core import Simulator
+
+if TYPE_CHECKING:
+    from .network import Network
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Drives failures against a :class:`~repro.myrinet.network.Network`."""
+
+    def __init__(self, sim: Simulator, network: "Network"):
+        self.sim = sim
+        self.network = network
+        self.log: list[tuple[int, str]] = []
+
+    def _note(self, what: str) -> None:
+        self.log.append((self.sim.now, what))
+
+    # ---------------------------------------------------------- probability
+    def set_loss(self, prob: float) -> None:
+        """Set the transient packet-loss probability."""
+        if not (0.0 <= prob <= 1.0):
+            raise ValueError("loss probability out of range")
+        self.network.cfg.packet_loss_prob = prob
+        self._note(f"loss={prob}")
+
+    def set_corruption(self, prob: float) -> None:
+        if not (0.0 <= prob <= 1.0):
+            raise ValueError("corruption probability out of range")
+        self.network.cfg.packet_corrupt_prob = prob
+        self._note(f"corrupt={prob}")
+
+    # ------------------------------------------------------------- hot-swap
+    def set_spine(self, spine: int, up: bool) -> None:
+        """Take a spine switch (and its links) down or up — hot-swap."""
+        topo = self.network.topology
+        sw = topo.spine_switch(spine)
+        sw.up = up
+        for leaf in range(topo.num_leaves):
+            topo.up_links[leaf][spine].up = up
+            topo.down_links[spine][leaf].up = up
+        self._note(f"spine{spine} {'up' if up else 'down'}")
+
+    def set_host_link(self, host: int, up: bool) -> None:
+        """Disconnect/reconnect one host's cable."""
+        topo = self.network.topology
+        topo.host_up[host].up = up
+        topo.host_down[host].up = up
+        self._note(f"hostlink{host} {'up' if up else 'down'}")
+
+    def at(self, when_ns: int, fn, *args) -> None:
+        """Schedule a fault action at an absolute simulation time."""
+        delay = when_ns - self.sim.now
+        if delay < 0:
+            raise ValueError("cannot schedule a fault in the past")
+        self.sim.schedule(delay, fn, *args)
+
+    # ---------------------------------------------------------- node crash
+    def crash_node(self, nic_id: int) -> None:
+        """Node stops: its NIC neither receives nor acknowledges."""
+        self.network.set_nic_dead(nic_id, True)
+        self._note(f"crash node{nic_id}")
+
+    def reboot_node(self, nic_id: int) -> None:
+        """Node returns; transport channels must self-resynchronize."""
+        self.network.set_nic_dead(nic_id, False)
+        self._note(f"reboot node{nic_id}")

@@ -1,0 +1,54 @@
+"""Directed link model.
+
+A physical Myrinet cable is full duplex; we model it as two independent
+:class:`DirectedLink` objects, each a serialized 1.2 Gb/s channel.  A link
+can be administratively taken down (hot-swap experiments, Section 3.2);
+packets in flight on a downed link are lost and the transport protocol is
+expected to mask the loss.
+"""
+
+from __future__ import annotations
+
+from ..sim.core import Simulator
+from ..sim.resources import Resource
+
+__all__ = ["DirectedLink"]
+
+
+class DirectedLink:
+    """One direction of a cable: serialized, byte-rate limited, can fail."""
+
+    def __init__(self, sim: Simulator, name: str, byte_ns: float):
+        self.sim = sim
+        self.name = name
+        self.byte_ns = byte_ns
+        self.up = True
+        self._port = Resource(sim, capacity=1, name=f"{name}.port")
+        self.bytes_carried = 0
+        self.packets_carried = 0
+        self.busy_ns = 0
+
+    def wire_ns(self, nbytes: int) -> int:
+        return round(nbytes * self.byte_ns)
+
+    def acquire(self):
+        """Contend for the link head; FIFO order."""
+        return self._port.acquire()
+
+    def release(self) -> None:
+        self._port.release()
+
+    def account(self, nbytes: int, busy_ns: int) -> None:
+        self.bytes_carried += nbytes
+        self.packets_carried += 1
+        self.busy_ns += busy_ns
+
+    def utilization(self, elapsed_ns: int | None = None) -> float:
+        total = elapsed_ns if elapsed_ns is not None else self.sim.now
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / total)
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {state}>"

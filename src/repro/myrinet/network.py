@@ -1,0 +1,172 @@
+"""The network fabric: packet traversal with cut-through and backpressure.
+
+A packet holds each link on its route from the moment its head enters
+until its tail leaves.  The head advances to the next switch after the
+cut-through latency plus header time; if the next link is busy the packet
+stalls *while still occupying the upstream link* — the wormhole
+backpressure through which "network congestion rapidly spreads through the
+network" (Section 2).  Delivery happens when the tail arrives at the
+destination NI.
+
+Fault hooks (loss, corruption, link/switch down, node crash) are consulted
+on every traversal; see :mod:`repro.myrinet.fault`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..cluster.config import ClusterConfig
+from ..sim.core import Simulator
+from ..sim.rng import RngStreams
+from .link import DirectedLink
+from .packet import Packet
+from .topology import FatTreeTopology
+
+__all__ = ["Network", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_linkdown: int = 0
+    dropped_noroute: int = 0
+    dropped_dead_nic: int = 0
+    bytes_delivered: int = 0
+
+
+class Network:
+    """Connects NICs through a :class:`FatTreeTopology`."""
+
+    def __init__(self, sim: Simulator, cfg: ClusterConfig, rngs: Optional[RngStreams] = None):
+        self.sim = sim
+        self.cfg = cfg
+        self.topology = FatTreeTopology(sim, cfg)
+        self.rng = (rngs or RngStreams(cfg.seed)).stream("network.fault")
+        self._rx_handlers: dict[int, Callable[[Packet], None]] = {}
+        self._dead_nics: set[int] = set()
+        self.stats = NetworkStats()
+        #: loopback delivery cost (NI-internal, no wire)
+        self.loopback_ns = cfg.lanai_ns(40)
+
+    # ------------------------------------------------------------ wiring
+    def attach(self, nic_id: int, rx_handler: Callable[[Packet], None]) -> None:
+        """Register the receive handler for a NIC (called on tail arrival)."""
+        if nic_id in self._rx_handlers:
+            raise ValueError(f"NIC {nic_id} already attached")
+        if not (0 <= nic_id < self.cfg.num_hosts):
+            raise ValueError(f"NIC id {nic_id} out of range")
+        self._rx_handlers[nic_id] = rx_handler
+
+    def set_nic_dead(self, nic_id: int, dead: bool = True) -> None:
+        """Mark a NIC crashed: packets addressed to it vanish."""
+        if dead:
+            self._dead_nics.add(nic_id)
+        else:
+            self._dead_nics.discard(nic_id)
+
+    # ------------------------------------------------------------- sending
+    def send(self, pkt: Packet) -> None:
+        """Inject a packet; returns immediately (transit is asynchronous)."""
+        self.stats.sent += 1
+        if self.cfg.packet_loss_prob and self.rng.random() < self.cfg.packet_loss_prob:
+            self.stats.dropped_loss += 1
+            return
+        if self.cfg.packet_corrupt_prob and self.rng.random() < self.cfg.packet_corrupt_prob:
+            pkt.corrupted = True
+        self.sim.spawn(self._traverse(pkt), name=f"pkt{pkt.xmit_id}")
+
+    def _deliver(self, pkt: Packet):
+        """Hand a packet to the destination NIC.
+
+        Returns None when accepted immediately, or a waitable the caller
+        must wait on while the NIC's receive FIFO is full — with the
+        upstream link still held, so congestion backs up into the fabric
+        (Section 2's "congestion rapidly spreads").
+        """
+        if pkt.dst_nic in self._dead_nics:
+            self.stats.dropped_dead_nic += 1
+            return None
+        handler = self._rx_handlers.get(pkt.dst_nic)
+        if handler is None:
+            self.stats.dropped_dead_nic += 1
+            return None
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += pkt.payload_bytes
+        return handler(pkt)
+
+    def _traverse(self, pkt: Packet):
+        sim, cfg = self.sim, self.cfg
+        if pkt.src_nic == pkt.dst_nic:
+            yield sim.timeout(self.loopback_ns)
+            pending = self._deliver(pkt)
+            if pending is not None:
+                yield pending
+            return
+        route = self.topology.route(pkt.src_nic, pkt.dst_nic, pkt.channel)
+        if route is None:
+            self.stats.dropped_noroute += 1
+            return
+        nbytes = pkt.wire_bytes(cfg.packet_header_bytes)
+        header_ns = round(cfg.packet_header_bytes * cfg.link_byte_ns)
+        hop_ns = cfg.switch_latency_ns + cfg.cable_latency_ns + header_ns
+
+        acquired_at: list[int] = []
+        held: list[DirectedLink] = []
+
+        def fail_cleanup() -> None:
+            for link in held:
+                link.release()
+            self.stats.dropped_linkdown += 1
+
+        for i, link in enumerate(route):
+            yield link.acquire()
+            if not link.up:
+                link.release()
+                fail_cleanup()
+                return
+            held.append(link)
+            acquired_at.append(sim.now)
+            if i > 0:
+                # The head has moved downstream: the upstream link frees
+                # once its serialization completes (backpressure already
+                # happened implicitly while we waited to acquire).
+                prev = route[i - 1]
+                prev_busy = prev.wire_ns(nbytes)
+                free_at = max(sim.now, acquired_at[i - 1] + prev_busy)
+                prev.account(nbytes, free_at - acquired_at[i - 1])
+                sim.schedule(free_at - sim.now, prev.release)
+                held.remove(prev)
+            if i < len(route) - 1:
+                yield sim.timeout(hop_ns)
+
+        last = route[-1]
+        tail_at = acquired_at[-1] + last.wire_ns(nbytes)
+        if tail_at > sim.now:
+            yield sim.timeout(tail_at - sim.now)
+        if not last.up:
+            fail_cleanup()
+            return
+        # Deliver before releasing: a full receive FIFO keeps the final
+        # link occupied, backpressuring the whole path (Section 2).
+        pending = self._deliver(pkt)
+        if pending is not None:
+            yield pending
+        last.account(nbytes, sim.now - acquired_at[-1])
+        last.release()
+        held.remove(last)
+
+    # ------------------------------------------------------------- queries
+    def min_latency_ns(self, src: int, dst: int, nbytes_on_wire: int) -> int:
+        """Uncongested head-to-tail transit time (for calibration tests)."""
+        if src == dst:
+            return self.loopback_ns
+        route = self.topology.route(src, dst, 0)
+        if route is None:
+            raise ValueError("no route")
+        header_ns = round(self.cfg.packet_header_bytes * self.cfg.link_byte_ns)
+        hop_ns = self.cfg.switch_latency_ns + self.cfg.cable_latency_ns + header_ns
+        return (len(route) - 1) * hop_ns + route[-1].wire_ns(nbytes_on_wire)

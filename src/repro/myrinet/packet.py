@@ -1,0 +1,95 @@
+"""Link-level packets.
+
+Every packet carries the fields Section 5.1 describes: a source route, a
+packet type, the logical flow-control channel id, a sequence bit, the
+sender's channel epoch (for self-resynchronization after reboots), a
+32-bit timestamp stamped by the sending interface and reflected in
+acknowledgments, and the destination endpoint id plus protection key.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+__all__ = ["PacketType", "NackReason", "Packet"]
+
+_packet_ids = itertools.count(1)
+
+
+class PacketType(Enum):
+    DATA = "data"
+    ACK = "ack"
+    NACK = "nack"
+    SYNC = "sync"  # channel re-initialization handshake
+
+
+class NackReason(Enum):
+    #: destination endpoint not bound to an NI frame; triggers a driver
+    #: make-resident request at the receiver and a later retransmission
+    NOT_RESIDENT = "not_resident"
+    #: destination receive queue full (Figure 6's 3-client drop)
+    RECV_OVERRUN = "recv_overrun"
+    #: protection key mismatch -> message is returned to its sender
+    BAD_KEY = "bad_key"
+    #: no such endpoint -> returned to sender
+    NO_ENDPOINT = "no_endpoint"
+    #: receiver channel state out of sync (peer rebooted)
+    OUT_OF_SYNC = "out_of_sync"
+
+
+@dataclass
+class Packet:
+    """One Myrinet packet (data or protocol)."""
+
+    src_nic: int
+    dst_nic: int
+    kind: PacketType
+    #: logical flow-control channel index within the (src, dst) pair
+    channel: int = 0
+    #: stop-and-wait alternating sequence bit
+    seq: int = 0
+    #: sender channel epoch for self-synchronization (Section 5.1)
+    epoch: int = 0
+    #: 32-bit timestamp from the sending NI; ACKs reflect it (Section 5.1)
+    timestamp: int = 0
+    #: payload length in bytes (data packets)
+    payload_bytes: int = 0
+    #: destination endpoint id on the receiving node (data packets)
+    dst_endpoint: int = -1
+    #: source endpoint id (so replies and returns can be routed back)
+    src_endpoint: int = -1
+    #: True when the message is an AM reply (separate receive queue)
+    is_reply: bool = False
+    #: True when the payload moves via SBus DMA to a host memory region
+    is_bulk: bool = False
+    #: protection key stamped by the sending NI (Section 3.1)
+    key: int = 0
+    #: globally unique id of the *message* this packet carries; constant
+    #: across retransmissions so receivers can suppress duplicates
+    msg_id: int = 0
+    #: NACK reason (nack packets)
+    nack_reason: Optional[NackReason] = None
+    #: piggybacked acknowledgment riding on a data packet (extension from
+    #: the paper's conclusions): (channel, seq, epoch, msg_id, timestamp)
+    piggyback_ack: Optional[tuple] = None
+    #: opaque upper-layer message payload (descriptor, handler args, ...)
+    body: Any = None
+    #: set by fault injection when the packet was corrupted in flight
+    corrupted: bool = False
+    #: unique per-transmission id (differs across retransmissions)
+    xmit_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def wire_bytes(self, header_bytes: int) -> int:
+        """Total bytes this packet occupies on a link."""
+        return header_bytes + max(0, self.payload_bytes)
+
+    def __repr__(self) -> str:  # compact for traces
+        extra = f" nack={self.nack_reason.value}" if self.nack_reason else ""
+        return (
+            f"<Pkt {self.kind.value} {self.src_nic}->{self.dst_nic}"
+            f" ch{self.channel} seq{self.seq} ep{self.dst_endpoint}"
+            f" {self.payload_bytes}B msg{self.msg_id}{extra}>"
+        )

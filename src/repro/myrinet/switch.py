@@ -1,0 +1,28 @@
+"""Switch inventory objects.
+
+Contention and latency are modelled at the links (see
+:mod:`repro.myrinet.network`); the :class:`Switch` object carries identity,
+level, and administrative state so topology reconfiguration (hot-swap,
+Section 3.2) has something to operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Switch"]
+
+
+@dataclass
+class Switch:
+    """One crossbar switch in the fabric."""
+
+    switch_id: int
+    level: str  # "leaf" or "spine"
+    up: bool = True
+    #: ids of hosts attached (leaf switches only)
+    hosts: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<Switch {self.level}{self.switch_id} {state}>"

@@ -1,0 +1,139 @@
+"""Logical flow-control channels (Section 5.1).
+
+Between every pair of interfaces the transport layer maintains a small set
+of stop-and-wait channels with positive acknowledgment.  Each channel
+carries at most one unacknowledged packet; multiple channels mask
+transmission and acknowledgment latencies and exploit multipath routing
+(the channel index selects the spine in :mod:`repro.myrinet.topology`).
+
+Because channels are shared physical resources, no message may occupy one
+indefinitely: after ``max_consecutive_retrans`` consecutive retransmissions
+the message is *unbound*, freeing the channel; later retransmissions
+reacquire and rebind (Section 5.1).  Retransmission timing uses randomized
+exponential backoff.
+
+Channels are self-synchronizing: each end stamps packets with its epoch,
+and a receiver seeing a new epoch (peer rebooted) adopts it and resets its
+duplicate-suppression window.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict, deque
+from typing import Deque, Optional
+
+from ..cluster.config import ClusterConfig
+from .message import Message
+
+__all__ = ["TxChannel", "RxPeerState", "backoff_ns"]
+
+
+def backoff_ns(cfg: ClusterConfig, consecutive: int, rng: random.Random) -> int:
+    """Randomized exponential backoff for the next retransmission."""
+    base_us = cfg.retrans_timeout_us * (2 ** min(consecutive, 10))
+    capped_us = min(base_us, max(cfg.retrans_backoff_max_us, cfg.retrans_timeout_us))
+    jittered = capped_us * (1.0 + rng.random())  # 1x .. 2x (never early)
+    return max(1_000, round(jittered * 1_000))
+
+
+class TxChannel:
+    """Sender-side state of one stop-and-wait channel."""
+
+    __slots__ = (
+        "peer",
+        "index",
+        "seq",
+        "epoch",
+        "outstanding",
+        "pending",
+        "deadline_ns",
+        "timer_gen",
+    )
+
+    def __init__(self, peer: int, index: int, epoch: int = 0):
+        self.peer = peer
+        self.index = index
+        #: alternating sequence bit
+        self.seq = 0
+        #: bumped when the owning NI reboots (uninitialized state, §5.1)
+        self.epoch = epoch
+        #: the one message awaiting acknowledgment, if any
+        self.outstanding: Optional[Message] = None
+        #: messages bound to this channel awaiting their turn (FIFO, §5.3)
+        self.pending: Deque[Message] = deque()
+        #: absolute retransmission deadline for the outstanding packet
+        self.deadline_ns: Optional[int] = None
+        #: invalidates stale timer-heap entries
+        self.timer_gen = 0
+
+    @property
+    def idle(self) -> bool:
+        return self.outstanding is None
+
+    def load(self) -> int:
+        """Queue depth used for least-loaded channel selection."""
+        return (0 if self.idle else 1) + len(self.pending)
+
+    def arm(self, now_ns: int, timeout_ns: int) -> int:
+        """Arm the retransmission timer; returns the deadline."""
+        self.timer_gen += 1
+        self.deadline_ns = now_ns + timeout_ns
+        return self.deadline_ns
+
+    def disarm(self) -> None:
+        self.timer_gen += 1
+        self.deadline_ns = None
+
+    def reset(self, epoch: int) -> list[Message]:
+        """Reboot: drop all state, return the orphaned messages."""
+        orphans = []
+        if self.outstanding is not None:
+            orphans.append(self.outstanding)
+        orphans.extend(self.pending)
+        self.outstanding = None
+        self.pending.clear()
+        self.seq = 0
+        self.epoch = epoch
+        self.disarm()
+        return orphans
+
+    def __repr__(self) -> str:
+        return (
+            f"<TxCh ->{self.peer}#{self.index} seq{self.seq}"
+            f" out={self.outstanding is not None} pend={len(self.pending)}>"
+        )
+
+
+class RxPeerState:
+    """Receiver-side per-peer state: epoch tracking + duplicate suppression.
+
+    Stop-and-wait sequencing alone cannot suppress duplicates across
+    channel unbind/rebind, so (like the paper's copy accounting, §5.3) the
+    receiver remembers recently delivered message ids per peer and re-ACKs
+    duplicates without redelivering — this is what makes delivery exactly
+    once (Section 3.2).
+    """
+
+    WINDOW = 512
+
+    def __init__(self, peer: int):
+        self.peer = peer
+        self.epoch = 0
+        self._delivered: OrderedDict[int, None] = OrderedDict()
+
+    def observe_epoch(self, epoch: int) -> bool:
+        """Track the peer's epoch; True if it changed (peer rebooted)."""
+        if epoch != self.epoch:
+            self.epoch = epoch
+            self._delivered.clear()
+            return True
+        return False
+
+    def is_duplicate(self, msg_id: int) -> bool:
+        return msg_id in self._delivered
+
+    def record_delivery(self, msg_id: int) -> None:
+        self._delivered[msg_id] = None
+        while len(self._delivered) > self.WINDOW:
+            self._delivered.popitem(last=False)

@@ -1,0 +1,65 @@
+"""The driver/NI protocol (Section 4.3).
+
+The endpoint segment driver and the NI are peer agents exchanging
+asynchronous requests through a dedicated, permanently resident *system
+endpoint*.  We model that as two typed queues: :class:`DriverOp` records
+travel driver→NI (allocate, free, load, unload, ...) and carry a
+completion event; :class:`NicNotify` records travel NI→driver (make an
+endpoint resident, notify a thread of an event).
+
+Both sides stamp messages with a Lamport logical clock (a variant of
+[Lamport 78], as the paper prescribes) so that each agent can resolve the
+ordering of events initiated by the other — e.g. when the driver frees an
+endpoint concurrently with the NI requesting it be made resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..sim.core import Event
+from .endpoint_state import EndpointState
+
+__all__ = ["LamportClock", "DriverOp", "NicNotify"]
+
+
+class LamportClock:
+    """Classic logical clock: tick on local events, merge on receipt."""
+
+    __slots__ = ("time",)
+
+    def __init__(self) -> None:
+        self.time = 0
+
+    def tick(self) -> int:
+        self.time += 1
+        return self.time
+
+    def observe(self, other_time: int) -> int:
+        """Merge a received timestamp; returns the new local time."""
+        self.time = max(self.time, other_time) + 1
+        return self.time
+
+
+@dataclass
+class DriverOp:
+    """One driver→NI request, completed by triggering ``done``."""
+
+    op: str  # "alloc" | "free" | "load" | "unload"
+    ep: EndpointState
+    done: Event
+    clock: int = 0
+    #: target frame index for "load"
+    frame: Optional[int] = None
+
+
+@dataclass
+class NicNotify:
+    """One NI→driver notification."""
+
+    kind: str  # "make_resident" | "event" | "returned"
+    ep_id: int
+    generation: int
+    clock: int = 0
+    detail: Any = None

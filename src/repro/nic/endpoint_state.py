@@ -1,0 +1,160 @@
+"""Endpoint state: the object the OS pages between host memory and NI frames.
+
+An endpoint (Section 3) bundles message queues and associated state that
+lives *beneath* the programming interface: a send descriptor ring, receive
+queues for requests and replies, a protection tag, a translation table
+mapping small integers to (endpoint name, key) pairs, and an event mask.
+The same object is operated on by three agents — the user library (through
+:mod:`repro.am`), the endpoint segment driver (:mod:`repro.osim.segdriver`)
+and the NI firmware (:mod:`repro.nic.firmware`) — which is exactly the
+coordination problem Sections 4 and 5 are about.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Deque, Optional
+
+from .message import Message
+
+__all__ = ["Residency", "TranslationEntry", "EndpointState", "EndpointStats"]
+
+
+class Residency(Enum):
+    """The four-state residency protocol of Figure 2."""
+
+    ONHOST_RO = "on-host r/o"
+    ONHOST_RW = "on-host r/w"
+    ONNIC_RW = "on-nic r/w"
+    ONDISK = "on-disk"
+    #: terminal state after free
+    FREED = "freed"
+
+
+@dataclass
+class TranslationEntry:
+    """One slot of an endpoint translation table (Section 3.1)."""
+
+    dst_node: int
+    dst_ep: int
+    key: int
+
+
+@dataclass
+class EndpointStats:
+    enqueued: int = 0
+    delivered_in: int = 0
+    consumed: int = 0
+    send_ring_full: int = 0
+    recv_drops: int = 0
+
+
+class EndpointState:
+    """Queues + residency + protection state of one endpoint."""
+
+    def __init__(
+        self,
+        node: int,
+        ep_id: int,
+        *,
+        send_ring_depth: int,
+        recv_queue_depth: int,
+        tag: int = 0,
+    ):
+        self.node = node
+        self.ep_id = ep_id
+        #: protection tag: incoming messages must carry this key (§3.1)
+        self.tag = tag
+        self.translation: dict[int, TranslationEntry] = {}
+        self.send_ring_depth = send_ring_depth
+        self.recv_queue_depth = recv_queue_depth
+
+        #: FIFO of Messages awaiting NI descriptor processing
+        self.send_ring: Deque[Message] = deque()
+        #: arrived requests not yet consumed by the host (32-deep, §6.4)
+        self.recv_requests: Deque[Message] = deque()
+        #: arrived replies; sized like the request window (a reply slot is
+        #: reserved per outstanding request, so replies never overrun)
+        self.recv_replies: Deque[Message] = deque()
+        #: messages returned to this (sending) endpoint as undeliverable
+        self.returned: Deque[Message] = deque()
+
+        self.residency = Residency.ONHOST_RO
+        self.frame: Optional[int] = None
+        #: generation bumped on free; stale NI->driver notifications about a
+        #: previous endpoint with the same id are discarded (§4.3 races)
+        self.generation = 0
+        #: messages from this endpoint bound into the NI/network, not yet
+        #: resolved; must drain to zero before unload (quiescence, §5.3)
+        self.inflight = 0
+        #: set while the driver is quiescing/unloading this endpoint
+        self.quiescing = False
+        #: marks residency-change in progress (load or unload scheduled)
+        self.transition = False
+        #: True while a make-resident request is pending at the driver
+        #: (dedupes the NACK-triggered notifications of Section 4.2)
+        self.mr_requested = False
+        #: receive-queue slots reserved by in-flight bulk DMAs
+        self.bulk_reserved_req = 0
+        self.bulk_reserved_rep = 0
+
+        #: which state transitions generate events ("recv", "returned")
+        self.event_mask: set[str] = set()
+        #: invoked (in driver context) when a masked event fires
+        self.event_callback: Optional[Callable[[str], None]] = None
+        #: endpoints marked shared pay a lock cost per operation (§3.3)
+        self.shared = False
+
+        #: WRR bookkeeping: True while queued in the NI service rotation
+        self.in_rotation = False
+        #: last service time, for LRU replacement ablation
+        self.last_active_ns = 0
+
+        self.stats = EndpointStats()
+
+    # --------------------------------------------------------------- naming
+    @property
+    def name(self) -> tuple[int, int]:
+        """The opaque global endpoint name (Section 3.1)."""
+        return (self.node, self.ep_id)
+
+    def map_translation(self, index: int, dst_node: int, dst_ep: int, key: int) -> None:
+        if index < 0:
+            raise ValueError("translation index must be non-negative")
+        self.translation[index] = TranslationEntry(dst_node, dst_ep, key)
+
+    def unmap_translation(self, index: int) -> None:
+        self.translation.pop(index, None)
+
+    # --------------------------------------------------------------- queues
+    @property
+    def resident(self) -> bool:
+        return self.residency == Residency.ONNIC_RW
+
+    def send_ring_free(self) -> int:
+        return self.send_ring_depth - len(self.send_ring)
+
+    def recv_room(self, is_reply: bool) -> bool:
+        if is_reply:
+            return len(self.recv_replies) + self.bulk_reserved_rep < self.recv_queue_depth
+        return len(self.recv_requests) + self.bulk_reserved_req < self.recv_queue_depth
+
+    def total_queued(self) -> int:
+        return (
+            len(self.send_ring)
+            + len(self.recv_requests)
+            + len(self.recv_replies)
+            + len(self.returned)
+        )
+
+    def has_sendable(self) -> bool:
+        return bool(self.send_ring) and self.resident and not self.quiescing
+
+    def __repr__(self) -> str:
+        return (
+            f"<EP ({self.node},{self.ep_id}) {self.residency.value}"
+            f" sr={len(self.send_ring)} rq={len(self.recv_requests)}"
+            f" inflight={self.inflight}>"
+        )

@@ -1,0 +1,985 @@
+"""The network interface firmware (Section 5).
+
+One :class:`Nic` models a LANai 4.3 board: a single slow embedded core
+running a dispatch loop, a set of endpoint frames in on-board SRAM, a
+shared SBus DMA engine, and the transport protocol of Section 5.1.  The
+dispatch loop is the serial resource everything contends for; every action
+it takes is charged an instruction budget from the configuration, which is
+how virtualization's gap and latency costs (Figure 3) arise.
+
+Responsibilities (Section 5):
+  * packet transmission mechanics and the stop-and-wait multi-channel
+    transport with positive/negative acknowledgment, randomized
+    exponential backoff, channel unbind/rebind, and return-to-sender;
+  * fair service of multiple resident endpoints: weighted round-robin
+    across endpoints, FCFS within one, loitering at most ``wrr_max_msgs``
+    messages / ``wrr_max_ns`` on one endpoint (Section 5.2);
+  * overlapping driver operations (load/unload/quiesce) with ongoing
+    communication: a lockup-free cache of the most active endpoints
+    (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from ..cluster.config import ClusterConfig
+from ..hw.lanai import LanaiMeter
+from ..hw.sbus import SbusDma
+from ..myrinet.network import Network
+from ..myrinet.packet import NackReason, Packet, PacketType
+from ..sim.core import AnyOf, Simulator
+from ..sim.resources import Gate, Store
+from ..sim.rng import RngStreams
+from .channels import RxPeerState, TxChannel, backoff_ns
+from .driver_port import DriverOp, LamportClock, NicNotify
+from .endpoint_state import EndpointState, Residency
+from .message import Message, MessageState, MsgKind
+
+__all__ = ["Nic", "NicStats"]
+
+
+@dataclass
+class NicStats:
+    data_sent: int = 0
+    data_recv: int = 0
+    bytes_sent: int = 0
+    bytes_recv: int = 0
+    acks_sent: int = 0
+    acks_recv: int = 0
+    nacks_sent: dict = field(default_factory=dict)
+    nacks_recv: int = 0
+    retransmissions: int = 0
+    unbinds: int = 0
+    rebinds: int = 0
+    returns: int = 0
+    deliveries: int = 0
+    dup_reacks: int = 0
+    crc_drops: int = 0
+    driver_ops: int = 0
+    make_resident_notifies: int = 0
+    stale_acks: int = 0
+
+    def count_nack(self, reason: NackReason) -> None:
+        self.nacks_sent[reason] = self.nacks_sent.get(reason, 0) + 1
+
+
+class Nic:
+    """One network interface board and its firmware."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: ClusterConfig,
+        nic_id: int,
+        network: Network,
+        rngs: Optional[RngStreams] = None,
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.nic_id = nic_id
+        self.network = network
+        network.attach(nic_id, self._on_wire_rx)
+        self.sbus = SbusDma(sim, cfg, name=f"nic{nic_id}.sbus")
+        self.meter = LanaiMeter(cfg)
+        self.rng = (rngs or RngStreams(cfg.seed)).stream(f"nic{nic_id}")
+        self.clock = LamportClock()
+        self.stats = NicStats()
+
+        #: all endpoints the driver has registered on this node
+        self.endpoints: dict[int, EndpointState] = {}
+        #: the scarce resource: endpoint frames in NI SRAM (Section 4.1)
+        self.frames: list[Optional[EndpointState]] = [None] * cfg.endpoint_frames
+
+        #: receive staging FIFO: bounded; a full FIFO backpressures the
+        #: wire (the delivering packet holds its last link until a slot
+        #: frees), which is how overload is pushed back into the network
+        self._rx_store = Store(sim, capacity=cfg.ni_rx_fifo_packets, name=f"nic{nic_id}.rx")
+        #: protocol packets (ACK/NACK) dispatch ahead of queued data --
+        #: they are header-only and the firmware keys its dispatch on the
+        #: packet type, so a data backlog never delays acknowledgments
+        self._rx_proto_q: Deque[Packet] = deque()
+        self._driver_q: Deque[DriverOp] = deque()
+        #: completion work (bulk DMA done, ...) serialized through the
+        #: dispatch loop like the real firmware's interrupt handling
+        self._internal_q: Deque = deque()
+        #: msg_ids of bulk deliveries whose DMA is still in progress;
+        #: retransmitted copies that arrive meanwhile are dropped silently
+        self._rx_inflight: set[int] = set()
+        #: NI -> driver notifications, consumed by the driver proxy thread
+        self.to_driver = Store(sim, name=f"nic{nic_id}.notify")
+        self._work = Gate(sim, name=f"nic{nic_id}.work")
+
+        self._tx_channels: dict[int, list[TxChannel]] = {}
+        self._rx_peers: dict[int, RxPeerState] = {}
+        #: endpoints whose ring head is blocked waiting for a channel to a peer
+        self._blocked_on_peer: dict[int, Deque[EndpointState]] = {}
+
+        #: WRR service rotation of endpoints with sendable work
+        self._rotation: Deque[EndpointState] = deque()
+        self._cur: Optional[EndpointState] = None
+        self._cur_count = 0
+        self._cur_since = 0
+
+        #: retransmission timers: (deadline, tiebreak, channel, gen)
+        self._timers: list = []
+        #: unbound messages awaiting channel reacquisition
+        self._unbound: list = []
+        self._tie = itertools.count()
+        #: messages unbound from channels, by id (for stale-ACK matching)
+        self._unbound_by_id: dict[int, Message] = {}
+
+        #: adaptive RTT state per peer: [srtt_ns, rttvar_ns] (extension)
+        self._rtt: dict[int, list] = {}
+        #: pending acknowledgments awaiting a piggyback ride, per peer:
+        #: deque of (channel, seq, epoch, msg_id, timestamp) (extension)
+        self._pending_acks: dict[int, Deque[tuple]] = {}
+        self._pending_unloads: list[tuple[EndpointState, DriverOp]] = []
+        #: alternates receive/transmit service so neither starves under
+        #: overload (the real board's send and receive paths are separate
+        #: DMA engines the firmware interleaves)
+        self._rx_turn = True
+        self.epoch = 1
+        self.alive = True
+        self._proc = sim.spawn(self._main_loop(), name=f"nic{nic_id}.fw")
+
+    # ====================================================== host-facing API
+    def host_enqueue_send(self, ep: EndpointState, msg: Message) -> bool:
+        """Append a message descriptor to an endpoint's send ring.
+
+        Returns False when the ring is full (the caller spins/blocks).
+        Host-side time is charged by the caller; this only mutates state.
+        """
+        if ep.send_ring_free() <= 0:
+            ep.stats.send_ring_full += 1
+            return False
+        msg.enqueued_ns = self.sim.now
+        msg.state = MessageState.PENDING
+        ep.send_ring.append(msg)
+        ep.stats.enqueued += 1
+        if ep.resident and not ep.quiescing:
+            self._enqueue_rotation(ep)
+            self._work.set()
+        return True
+
+    def host_poll_recv(self, ep: EndpointState, replies: bool = False) -> Optional[Message]:
+        """Pop one arrived message (host cost charged by the caller)."""
+        q = ep.recv_replies if replies else ep.recv_requests
+        if q:
+            ep.stats.consumed += 1
+            return q.popleft()
+        return None
+
+    def host_poll_returned(self, ep: EndpointState) -> Optional[Message]:
+        """Pop one returned-to-sender message (Section 3.2)."""
+        if ep.returned:
+            return ep.returned.popleft()
+        return None
+
+    # ===================================================== driver-facing API
+    def driver_request(self, op: DriverOp):
+        """Queue a driver->NI operation; completion triggers ``op.done``."""
+        op.clock = self.clock.tick()
+        self._driver_q.append(op)
+        self._work.set()
+        return op.done
+
+    def free_frame_index(self) -> Optional[int]:
+        for i, occupant in enumerate(self.frames):
+            if occupant is None:
+                return i
+        return None
+
+    def resident_endpoints(self) -> list[EndpointState]:
+        return [ep for ep in self.frames if ep is not None]
+
+    # ========================================================== fault hooks
+    def crash(self) -> None:
+        """Node failure: the NI stops processing and loses its state."""
+        self.alive = False
+        self.network.set_nic_dead(self.nic_id, True)
+        while True:
+            ok, _ = self._rx_store.try_get()
+            if not ok:
+                break
+
+    def reboot(self) -> None:
+        """Restart with a new channel epoch; peers resynchronize (§5.1)."""
+        self.alive = True
+        self.epoch += 1
+        for chans in self._tx_channels.values():
+            for ch in chans:
+                for orphan in ch.reset(self.epoch):
+                    self._resolve_returned(orphan, "reboot")
+        self._rx_peers.clear()
+        self.network.set_nic_dead(self.nic_id, False)
+        self._work.set()
+
+    # ========================================================== wire receive
+    def _on_wire_rx(self, pkt: Packet):
+        """Wire delivery: returns a waitable while the rx FIFO is full."""
+        if not self.alive:
+            return None
+        if pkt.kind in (PacketType.ACK, PacketType.NACK):
+            self._rx_proto_q.append(pkt)
+            self._work.set()
+            return None
+        ev = self._rx_store.put(pkt)
+        self._work.set()
+        return None if ev.triggered else ev
+
+    # ============================================================ main loop
+    def _main_loop(self):
+        sim = self.sim
+        while True:
+            self._work.clear()
+            if not self.alive:
+                yield self._work.wait()
+                continue
+            progress = yield from self._step()
+            self._check_unloads()
+            if not progress:
+                deadline = self._next_deadline()
+                if deadline is None:
+                    yield self._work.wait()
+                else:
+                    delay = max(0, deadline - sim.now)
+                    yield AnyOf(sim, [self._work.wait(), sim.timeout(delay)])
+
+    def _step(self):
+        """One dispatch-loop iteration; True if any work was done.
+
+        Priority: completion work first, then driver requests (the
+        driver endpoint is interleaved, §5.3), then receive traffic, then
+        due retransmissions, then unbound-message rebinds, then WRR send
+        service.
+        """
+        if self._internal_q:
+            thunk = self._internal_q.popleft()
+            yield from thunk()
+            return True
+        if self._driver_q:
+            # The NI interleaves servicing of the driver endpoint among
+            # all others (Section 5.3): driver operations must not starve
+            # behind a receive flood.
+            op = self._driver_q.popleft()
+            yield from self._handle_driver_op(op)
+            return True
+        # Alternate receive and transmit service so a receive flood
+        # cannot starve the send path (nor vice versa).
+        self._rx_turn = not self._rx_turn
+        first, second = (self._rx_phase, self._tx_phase) if self._rx_turn else (self._tx_phase, self._rx_phase)
+        done = yield from first()
+        if done:
+            return True
+        done = yield from second()
+        return done
+
+    def _rx_phase(self):
+        if self._rx_proto_q:
+            pkt = self._rx_proto_q.popleft()
+            yield from self._handle_rx(pkt)
+            return True
+        ok, pkt = self._rx_store.try_get()
+        if ok:
+            yield from self._handle_rx(pkt)
+            return True
+        return False
+
+    def _tx_phase(self):
+        ch = self._pop_due_timer()
+        if ch is not None:
+            yield from self._handle_timer(ch)
+            return True
+        msg = self._pop_due_unbound()
+        if msg is not None:
+            yield from self._try_rebind(msg)
+            return True
+        ep = self._next_service_ep()
+        if ep is not None:
+            yield from self._service_send(ep)
+            return True
+        return False
+
+    # ===================================================== WRR send service
+    def _enqueue_rotation(self, ep: EndpointState) -> None:
+        if not ep.in_rotation:
+            ep.in_rotation = True
+            self._rotation.append(ep)
+
+    def _next_service_ep(self) -> Optional[EndpointState]:
+        cfg = self.cfg
+        # Loiter on the current endpoint within the WRR budget (§5.2).
+        if self._cur is not None:
+            ep = self._cur
+            within = (
+                self._cur_count < cfg.wrr_max_msgs
+                and self.sim.now - self._cur_since < cfg.wrr_max_ns
+            )
+            if within and ep.has_sendable() and self._idle_channel(ep.send_ring[0].dst_node):
+                return ep
+            self._cur = None
+            if ep.has_sendable():
+                if self._idle_channel(ep.send_ring[0].dst_node):
+                    self._rotation.append(ep)  # budget spent: go to the back
+                else:
+                    # Just-served endpoint yields to waiters that never ran.
+                    ep.in_rotation = False
+                    self._block_on_peer(ep, ep.send_ring[0].dst_node, front=False)
+            else:
+                ep.in_rotation = False
+        scanned = 0
+        while self._rotation:
+            ep = self._rotation.popleft()
+            scanned += 1
+            if not ep.has_sendable():
+                ep.in_rotation = False
+                continue
+            if self._idle_channel(ep.send_ring[0].dst_node) is None:
+                # Blocked before being served this round: keep its place at
+                # the head of the waiter queue (WRR fairness, §5.2).
+                ep.in_rotation = False
+                self._block_on_peer(ep, ep.send_ring[0].dst_node, front=True)
+                continue
+            self._cur = ep
+            self._cur_count = 0
+            self._cur_since = self.sim.now
+            if scanned > 1:
+                self.meter.cost_ns("poll_scan", (scanned - 1) * self.cfg.ni_poll_ep_instr)
+            return ep
+        return None
+
+    def _block_on_peer(self, ep: EndpointState, peer: int, front: bool = False) -> None:
+        lst = self._blocked_on_peer.setdefault(peer, deque())
+        if ep not in lst:
+            if front:
+                lst.appendleft(ep)
+            else:
+                lst.append(ep)
+
+    def _unblock_peer_waiters(self, peer: int) -> None:
+        lst = self._blocked_on_peer.pop(peer, None)
+        if not lst:
+            return
+        for ep in lst:
+            if ep.has_sendable():
+                self._enqueue_rotation(ep)
+        self._work.set()
+
+    def _service_send(self, ep: EndpointState):
+        """Process one send descriptor from ``ep``'s ring head (FCFS)."""
+        cfg = self.cfg
+        msg = ep.send_ring[0]
+        ch = self._idle_channel(msg.dst_node)
+        if ch is None:  # raced away; revisit later
+            self._cur = None
+            ep.in_rotation = False
+            self._block_on_peer(ep, msg.dst_node)
+            return
+        ep.send_ring.popleft()
+        ep.last_active_ns = self.sim.now
+        self._cur_count += 1
+        msg.state = MessageState.BOUND
+        ep.inflight += 1
+        yield self.sim.timeout(self.meter.cost_ns("send", cfg.ni_send_instr))
+        self._transmit(ch, msg)
+        # post-send bookkeeping happens off the latency path but still
+        # occupies the firmware (it contributes to the gap, §6.1)
+        yield self.sim.timeout(self.meter.cost_ns("send_post", cfg.ni_send_post_instr))
+
+    # ========================================================== transmission
+    def _tx_channel_set(self, peer: int) -> list[TxChannel]:
+        chans = self._tx_channels.get(peer)
+        if chans is None:
+            chans = [TxChannel(peer, i, epoch=self.epoch) for i in range(self.cfg.channels_per_pair)]
+            self._tx_channels[peer] = chans
+        return chans
+
+    def _idle_channel(self, peer: int) -> Optional[TxChannel]:
+        for ch in self._tx_channel_set(peer):
+            if ch.idle:
+                return ch
+        return None
+
+    def _transmit(self, ch: TxChannel, msg: Message, retrans: bool = False):
+        """Put ``msg`` on the wire over ``ch`` and arm its timer."""
+        cfg = self.cfg
+        ch.outstanding = msg
+        msg.transmissions += 1
+        if msg.first_tx_ns is None:
+            msg.first_tx_ns = self.sim.now
+        if retrans:
+            self.stats.retransmissions += 1
+        piggyback = None
+        if self.cfg.enable_piggyback_acks:
+            rides = self._pending_acks.get(msg.dst_node)
+            if rides:
+                piggyback = rides.popleft()
+        pkt = Packet(
+            src_nic=self.nic_id,
+            dst_nic=msg.dst_node,
+            kind=PacketType.DATA,
+            channel=ch.index,
+            seq=ch.seq,
+            epoch=self.epoch,
+            timestamp=self.sim.now & 0xFFFFFFFF,
+            payload_bytes=msg.payload_bytes,
+            dst_endpoint=msg.dst_ep,
+            src_endpoint=msg.src_ep,
+            is_reply=(msg.kind is MsgKind.REPLY),
+            is_bulk=msg.is_bulk,
+            key=msg.key,
+            msg_id=msg.msg_id,
+            body=msg.body,
+            piggyback_ack=piggyback,
+        )
+        self.stats.data_sent += 1
+        self.stats.bytes_sent += msg.payload_bytes
+        if msg.is_bulk and msg.payload_bytes > 0:
+            # Stage payload from host memory through NI SRAM: the firmware
+            # starts the DMA and moves on; a helper completes the send.
+            self.sim.spawn(self._bulk_send(ch, msg, pkt), name=f"nic{self.nic_id}.btx")
+        else:
+            self.network.send(pkt)
+            self._arm_timer(ch)
+
+    def _bulk_send(self, ch: TxChannel, msg: Message, pkt: Packet):
+        yield from self.sbus.transfer(msg.payload_bytes, SbusDma.READ)
+        if not self.alive or ch.outstanding is not msg:
+            return  # endpoint freed / channel reset while we staged
+        self.network.send(pkt)
+        self._arm_timer(ch)
+
+    def _rtt_sample(self, peer: int, sent_timestamp: int) -> None:
+        """Jacobson/Karels estimator over the reflected 32-bit timestamps."""
+        sample = (self.sim.now - sent_timestamp) & 0xFFFFFFFF
+        state = self._rtt.get(peer)
+        if state is None:
+            self._rtt[peer] = [sample, sample // 2]
+            return
+        srtt, rttvar = state
+        err = sample - srtt
+        state[0] = srtt + (err >> 3)
+        state[1] = rttvar + ((abs(err) - rttvar) >> 2)
+
+    def _adaptive_timeout_ns(self, peer: int) -> Optional[int]:
+        state = self._rtt.get(peer)
+        if state is None:
+            return None
+        rto = state[0] + 4 * state[1]
+        # self-clocking floor: our own in-flight window queues ahead of a
+        # new packet at the receiver, so the timeout must cover it even
+        # before the estimator has caught up with a load ramp
+        outstanding = sum(1 for ch in self._tx_channel_set(peer) if not ch.idle)
+        rto = max(rto, outstanding * 15_000)
+        lo = round(self.cfg.rtt_min_timeout_us * 1_000)
+        hi = round(self.cfg.retrans_timeout_us * 1_000) * 2
+        return max(lo, min(rto, hi))
+
+    def _arm_timer(self, ch: TxChannel) -> None:
+        msg = ch.outstanding
+        timeout = None
+        if self.cfg.enable_rtt_estimation and (msg is None or msg.consecutive_retrans == 0):
+            timeout = self._adaptive_timeout_ns(ch.peer)
+        if timeout is None:
+            timeout = backoff_ns(self.cfg, msg.consecutive_retrans if msg else 0, self.rng)
+        if msg is not None and msg.payload_bytes:
+            # Bulk packets spend real time in staging DMAs on both ends;
+            # stretch the timeout so healthy transfers are not duplicated.
+            timeout += round(msg.payload_bytes * self.cfg.bulk_timeout_ns_per_byte)
+        deadline = ch.arm(self.sim.now, timeout)
+        heapq.heappush(self._timers, (deadline, next(self._tie), ch, ch.timer_gen))
+        self._work.set()
+
+    def _arm_timer_backoff(self, ch: TxChannel, consecutive: int) -> None:
+        deadline = ch.arm(self.sim.now, backoff_ns(self.cfg, consecutive, self.rng))
+        heapq.heappush(self._timers, (deadline, next(self._tie), ch, ch.timer_gen))
+        self._work.set()
+
+    # ================================================================ timers
+    def _pop_due_timer(self) -> Optional[TxChannel]:
+        now = self.sim.now
+        while self._timers:
+            deadline, _, ch, gen = self._timers[0]
+            if gen != ch.timer_gen or ch.deadline_ns != deadline:
+                heapq.heappop(self._timers)  # stale
+                continue
+            if deadline > now:
+                return None
+            heapq.heappop(self._timers)
+            return ch
+        return None
+
+    def _pop_due_unbound(self) -> Optional[Message]:
+        now = self.sim.now
+        while self._unbound:
+            deadline, _, msg = self._unbound[0]
+            if msg.state is not MessageState.UNBOUND:
+                heapq.heappop(self._unbound)
+                continue
+            if deadline > now:
+                return None
+            heapq.heappop(self._unbound)
+            return msg
+        return None
+
+    def _next_deadline(self) -> Optional[int]:
+        best: Optional[int] = None
+        while self._timers:
+            deadline, _, ch, gen = self._timers[0]
+            if gen != ch.timer_gen or ch.deadline_ns != deadline:
+                heapq.heappop(self._timers)
+                continue
+            best = deadline
+            break
+        while self._unbound:
+            deadline, _, msg = self._unbound[0]
+            if msg.state is not MessageState.UNBOUND:
+                heapq.heappop(self._unbound)
+                continue
+            if best is None or deadline < best:
+                best = deadline
+            break
+        return best
+
+    def _handle_timer(self, ch: TxChannel):
+        """Retransmission deadline expired on a channel."""
+        msg = ch.outstanding
+        ch.disarm()
+        if msg is None:
+            return
+        if self.sim.now - (msg.first_tx_ns or self.sim.now) >= self.cfg.dead_timeout_ns:
+            # Prolonged absence of acknowledgments: unrecoverable transport
+            # condition; return the message to its sender (§3.2, §5.1).
+            ch.outstanding = None
+            self._resolve_returned(msg, "timeout")
+            self._feed_channel(ch)
+            return
+        msg.consecutive_retrans += 1
+        if msg.consecutive_retrans > self.cfg.max_consecutive_retrans:
+            yield from self._unbind(ch, msg)
+            return
+        yield self.sim.timeout(self.meter.cost_ns("retrans", self.cfg.ni_send_instr))
+        self._transmit(ch, msg, retrans=True)
+
+    def _unbind(self, ch: TxChannel, msg: Message):
+        """Free the channel after bounded consecutive retransmissions."""
+        ch.outstanding = None
+        msg.state = MessageState.UNBOUND
+        msg.consecutive_retrans = 0
+        self.stats.unbinds += 1
+        self._unbound_by_id[msg.msg_id] = msg
+        jitter = 0.5 + self.rng.random()
+        deadline = self.sim.now + max(1_000, round(self.cfg.rebind_delay_us * 1_000 * jitter))
+        heapq.heappush(self._unbound, (deadline, next(self._tie), msg))
+        yield self.sim.timeout(self.meter.cost_ns("unbind", self.cfg.ni_poll_ep_instr * 4))
+        self._feed_channel(ch)
+        self._work.set()
+
+    def _try_rebind(self, msg: Message):
+        """An unbound message's retry deadline arrived: reacquire a channel."""
+        if msg.state is not MessageState.UNBOUND:
+            return
+        if self.sim.now - (msg.first_tx_ns or 0) >= self.cfg.dead_timeout_ns:
+            self._unbound_by_id.pop(msg.msg_id, None)
+            self._resolve_returned(msg, "timeout")
+            return
+        ch = self._idle_channel(msg.dst_node)
+        if ch is None:
+            jitter = 0.5 + self.rng.random()
+            deadline = self.sim.now + max(1_000, round(self.cfg.rebind_delay_us * 1_000 * jitter))
+            heapq.heappush(self._unbound, (deadline, next(self._tie), msg))
+            return
+        self._unbound_by_id.pop(msg.msg_id, None)
+        msg.state = MessageState.BOUND
+        self.stats.rebinds += 1
+        yield self.sim.timeout(self.meter.cost_ns("rebind", self.cfg.ni_send_instr))
+        self._transmit(ch, msg, retrans=True)
+
+    def _feed_channel(self, ch: TxChannel) -> None:
+        """A channel went idle: wake ring-blocked endpoints for its peer."""
+        self._unblock_peer_waiters(ch.peer)
+
+    # ================================================================ receive
+    def _handle_rx(self, pkt: Packet):
+        cfg = self.cfg
+        if pkt.corrupted:
+            # CRC check fails; drop silently, sender's timer recovers it.
+            self.stats.crc_drops += 1
+            yield self.sim.timeout(self.meter.cost_ns("crc_drop", cfg.ni_poll_ep_instr))
+            return
+        if pkt.kind is PacketType.DATA:
+            yield from self._handle_data(pkt)
+        elif pkt.kind is PacketType.ACK:
+            yield from self._handle_ack(pkt)
+        elif pkt.kind is PacketType.NACK:
+            yield from self._handle_nack(pkt)
+
+    def _handle_data(self, pkt: Packet):
+        cfg = self.cfg
+        if pkt.piggyback_ack is not None:
+            channel, seq, epoch, msg_id, timestamp = pkt.piggyback_ack
+            yield self.sim.timeout(self.meter.cost_ns("ack_proc", cfg.ni_ack_proc_instr // 2))
+            self._resolve_ack_fields(pkt.src_nic, channel, epoch, msg_id, timestamp)
+        yield self.sim.timeout(self.meter.cost_ns("recv", cfg.ni_recv_instr))
+        # Defensive error checking added by virtualization (§6.1).
+        yield self.sim.timeout(self.meter.cost_ns("errcheck", cfg.ni_errcheck_instr))
+        self.stats.data_recv += 1
+        self.stats.bytes_recv += pkt.payload_bytes
+
+        peer = self._rx_peers.get(pkt.src_nic)
+        if peer is None:
+            peer = self._rx_peers[pkt.src_nic] = RxPeerState(pkt.src_nic)
+        peer.observe_epoch(pkt.epoch)
+
+        ep = self.endpoints.get(pkt.dst_endpoint)
+        if ep is None or ep.residency is Residency.FREED:
+            yield from self._send_nack(pkt, NackReason.NO_ENDPOINT)
+            return
+        if pkt.key != ep.tag:
+            # The receiving interface verifies the key (§3.1).
+            yield from self._send_nack(pkt, NackReason.BAD_KEY)
+            return
+        if not ep.resident:
+            yield from self._send_nack(pkt, NackReason.NOT_RESIDENT)
+            self._request_make_resident(ep)
+            return
+        if peer.is_duplicate(pkt.msg_id):
+            # Copy of something already delivered (retransmission across an
+            # unbind/rebind): re-acknowledge, do not redeliver.
+            self.stats.dup_reacks += 1
+            yield from self._send_ack(pkt)
+            return
+        if pkt.msg_id in self._rx_inflight:
+            # A copy whose first arrival is still staging through the SBus:
+            # drop silently; the in-progress delivery will be acknowledged.
+            self.stats.dup_reacks += 1
+            return
+        if not ep.recv_room(pkt.is_reply):
+            ep.stats.recv_drops += 1
+            yield from self._send_nack(pkt, NackReason.RECV_OVERRUN)
+            return
+        if pkt.is_bulk and pkt.payload_bytes > 0:
+            # Move the payload to the host memory region behind the
+            # endpoint; the ACK means "written into the destination
+            # endpoint" (§5.1) so it waits for the DMA.  The queue slot is
+            # reserved now so concurrent arrivals respect the bound.
+            self._rx_inflight.add(pkt.msg_id)
+            if pkt.is_reply:
+                ep.bulk_reserved_rep += 1
+            else:
+                ep.bulk_reserved_req += 1
+            self.sim.spawn(self._bulk_recv(ep, peer, pkt), name=f"nic{self.nic_id}.brx")
+        else:
+            yield from self._finish_delivery(ep, peer, pkt)
+
+    def _bulk_recv(self, ep: EndpointState, peer: RxPeerState, pkt: Packet):
+        """Stage a bulk payload NI->host, then complete in the dispatch loop.
+
+        The engine is held until the firmware has processed the completion
+        (the real LANai programs the next transfer only after handling the
+        previous one's completion) — this is the ~12 us per-packet overhead
+        behind Figure 4's 43.9-of-46.8 MB/s delivered bandwidth.
+        """
+        yield self.sbus.acquire()
+        yield from self.sbus.hold(pkt.payload_bytes, SbusDma.WRITE)
+
+        def completion():
+            if pkt.is_reply:
+                ep.bulk_reserved_rep = max(0, ep.bulk_reserved_rep - 1)
+            else:
+                ep.bulk_reserved_req = max(0, ep.bulk_reserved_req - 1)
+            self._rx_inflight.discard(pkt.msg_id)
+            yield self.sim.timeout(
+                self.meter.cost_ns("bulk_complete", self.cfg.ni_bulk_complete_instr)
+            )
+            if self.alive and ep.resident:
+                yield from self._finish_delivery(ep, peer, pkt)
+            self.sbus.release()
+
+        self._internal_q.append(completion)
+        self._work.set()
+
+    def _finish_delivery(self, ep: EndpointState, peer: RxPeerState, pkt: Packet):
+        arrived = Message(
+            src_node=pkt.src_nic,
+            src_ep=pkt.src_endpoint,
+            dst_node=self.nic_id,
+            dst_ep=ep.ep_id,
+            key=pkt.key,
+            kind=MsgKind.REPLY if pkt.is_reply else MsgKind.REQUEST,
+            payload_bytes=pkt.payload_bytes,
+            is_bulk=pkt.is_bulk,
+            body=pkt.body,
+            msg_id=pkt.msg_id,
+        )
+        arrived.state = MessageState.DELIVERED
+        arrived.delivered_ns = self.sim.now
+        q = ep.recv_replies if pkt.is_reply else ep.recv_requests
+        was_empty = not q
+        q.append(arrived)
+        peer.record_delivery(pkt.msg_id)
+        ep.stats.delivered_in += 1
+        self.stats.deliveries += 1
+        yield from self._send_ack(pkt)
+        if was_empty and "recv" in ep.event_mask:
+            self._notify_driver("event", ep, detail="recv")
+
+    def _send_ack(self, pkt: Packet):
+        yield self.sim.timeout(self.meter.cost_ns("ack_gen", self.cfg.ni_ack_gen_instr))
+        if self.cfg.enable_piggyback_acks:
+            # Hold the acknowledgment briefly, hoping for a data packet
+            # heading back (an extension the paper's conclusions propose
+            # to reduce network occupancy).
+            entry = (pkt.channel, pkt.seq, pkt.epoch, pkt.msg_id, pkt.timestamp)
+            rides = self._pending_acks.setdefault(pkt.src_nic, deque())
+            rides.append(entry)
+            self.sim.schedule(
+                round(self.cfg.piggyback_delay_us * 1_000),
+                self._flush_ack, pkt.src_nic, entry,
+            )
+            return
+        self.stats.acks_sent += 1
+        self.network.send(
+            Packet(
+                src_nic=self.nic_id,
+                dst_nic=pkt.src_nic,
+                kind=PacketType.ACK,
+                channel=pkt.channel,
+                seq=pkt.seq,
+                epoch=pkt.epoch,
+                timestamp=pkt.timestamp,  # reflected (§5.1)
+                msg_id=pkt.msg_id,
+            )
+        )
+
+    def _flush_ack(self, peer: int, entry: tuple) -> None:
+        """Piggyback deadline expired: send the acknowledgment explicitly."""
+        rides = self._pending_acks.get(peer)
+        if not rides or entry not in rides:
+            return  # it caught a ride
+        rides.remove(entry)
+        channel, seq, epoch, msg_id, timestamp = entry
+        self.stats.acks_sent += 1
+        self.network.send(
+            Packet(
+                src_nic=self.nic_id,
+                dst_nic=peer,
+                kind=PacketType.ACK,
+                channel=channel,
+                seq=seq,
+                epoch=epoch,
+                timestamp=timestamp,
+                msg_id=msg_id,
+            )
+        )
+
+    def _send_nack(self, pkt: Packet, reason: NackReason):
+        yield self.sim.timeout(self.meter.cost_ns("nack_gen", self.cfg.ni_ack_gen_instr))
+        self.stats.count_nack(reason)
+        self.network.send(
+            Packet(
+                src_nic=self.nic_id,
+                dst_nic=pkt.src_nic,
+                kind=PacketType.NACK,
+                channel=pkt.channel,
+                seq=pkt.seq,
+                epoch=pkt.epoch,
+                timestamp=pkt.timestamp,
+                msg_id=pkt.msg_id,
+                nack_reason=reason,
+            )
+        )
+
+    # -------------------------------------------------- ACK/NACK processing
+    def _match_channel(self, pkt: Packet) -> Optional[TxChannel]:
+        chans = self._tx_channels.get(pkt.src_nic)
+        if chans is None or pkt.channel >= len(chans):
+            return None
+        ch = chans[pkt.channel]
+        if pkt.epoch != self.epoch:
+            return None  # ack for a pre-reboot transmission
+        if ch.outstanding is None or ch.outstanding.msg_id != pkt.msg_id:
+            return None
+        return ch
+
+    def _handle_ack(self, pkt: Packet):
+        yield self.sim.timeout(self.meter.cost_ns("ack_proc", self.cfg.ni_ack_proc_instr))
+        self._resolve_ack_fields(pkt.src_nic, pkt.channel, pkt.epoch, pkt.msg_id, pkt.timestamp)
+
+    def _resolve_ack_fields(self, peer: int, channel: int, epoch: int, msg_id: int, timestamp: int) -> None:
+        self.stats.acks_recv += 1
+        if self.cfg.enable_rtt_estimation:
+            self._rtt_sample(peer, timestamp)
+        pseudo = Packet(src_nic=peer, dst_nic=self.nic_id, kind=PacketType.ACK,
+                        channel=channel, epoch=epoch, msg_id=msg_id)
+        ch = self._match_channel(pseudo)
+        if ch is not None:
+            msg = ch.outstanding
+            ch.outstanding = None
+            ch.seq ^= 1
+            ch.disarm()
+            self._resolve_delivered(msg)
+            self._feed_channel(ch)
+            return
+        # An unbound message may be acknowledged by a late copy (§5.3's
+        # copy accounting): resolve it wherever it is now.
+        msg = self._unbound_by_id.pop(msg_id, None)
+        if msg is not None:
+            self._resolve_delivered(msg)
+        else:
+            self.stats.stale_acks += 1
+
+    def _handle_nack(self, pkt: Packet):
+        cfg = self.cfg
+        yield self.sim.timeout(self.meter.cost_ns("nack_proc", cfg.ni_nack_proc_instr))
+        self.stats.nacks_recv += 1
+        ch = self._match_channel(pkt)
+        if ch is None:
+            return
+        msg = ch.outstanding
+        reason = pkt.nack_reason
+        if reason in (NackReason.BAD_KEY, NackReason.NO_ENDPOINT):
+            # Serious, non-transient: return to sender (§3.2).
+            ch.outstanding = None
+            ch.disarm()
+            self._resolve_returned(msg, reason)
+            self._feed_channel(ch)
+            return
+        # Transient (not resident / queue overrun / out of sync): retry
+        # later with backoff; the channel stays bound to the message.
+        msg.consecutive_retrans += 1
+        if msg.consecutive_retrans > cfg.max_consecutive_retrans:
+            yield from self._unbind(ch, msg)
+            return
+        if reason is NackReason.RECV_OVERRUN:
+            # Receiver-paced condition: the queue drains at the host's
+            # consumption rate, so retry promptly rather than backing off
+            # exponentially — this retransmission pressure is Figure 6b's
+            # 75K->60K drop once credits stop preventing overruns.  Note
+            # these retries are self-pacing: a copy can only be NACKed
+            # again after the receiver actually processed it.
+            self._arm_fixed_retry(ch, cfg.overrun_retry_us)
+        elif reason is NackReason.NOT_RESIDENT:
+            # Paced to the re-mapping latency (Section 4.2).
+            self._arm_fixed_retry(ch, cfg.not_resident_retry_us)
+        else:
+            self._arm_timer_backoff(ch, msg.consecutive_retrans)
+
+    def _arm_fixed_retry(self, ch: TxChannel, retry_us: float) -> None:
+        jitter = 0.5 + self.rng.random()
+        retry_ns = max(1_000, round(retry_us * 1_000 * jitter))
+        deadline = ch.arm(self.sim.now, retry_ns)
+        heapq.heappush(self._timers, (deadline, next(self._tie), ch, ch.timer_gen))
+        self._work.set()
+
+    # ============================================================ resolution
+    def _resolve_delivered(self, msg: Message) -> None:
+        msg.state = MessageState.DELIVERED
+        msg.delivered_ns = self.sim.now
+        self._finish_inflight(msg)
+        msg.resolve(True)
+
+    def _resolve_returned(self, msg: Message, reason) -> None:
+        msg.state = MessageState.RETURNED
+        msg.return_reason = reason
+        self.stats.returns += 1
+        self._finish_inflight(msg)
+        ep = self.endpoints.get(msg.src_ep)
+        if ep is not None and ep.residency is not Residency.FREED:
+            ep.returned.append(msg)
+            if "returned" in ep.event_mask:
+                self._notify_driver("event", ep, detail="returned")
+        msg.resolve(False)
+
+    def _finish_inflight(self, msg: Message) -> None:
+        ep = self.endpoints.get(msg.src_ep)
+        if ep is not None:
+            ep.inflight = max(0, ep.inflight - 1)
+        self._work.set()  # may complete a pending unload
+
+    # ======================================================== driver protocol
+    def _notify_driver(self, kind: str, ep: EndpointState, detail=None) -> None:
+        note = NicNotify(
+            kind=kind,
+            ep_id=ep.ep_id,
+            generation=ep.generation,
+            clock=self.clock.tick(),
+            detail=detail,
+        )
+        if kind == "make_resident":
+            self.stats.make_resident_notifies += 1
+        self.to_driver.try_put(note)
+
+    def _request_make_resident(self, ep: EndpointState) -> None:
+        """Message arrived for a non-resident endpoint (Section 4.2)."""
+        if getattr(ep, "mr_requested", False) or ep.transition:
+            return
+        ep.mr_requested = True
+        self._notify_driver("make_resident", ep)
+
+    def _handle_driver_op(self, op: DriverOp):
+        cfg = self.cfg
+        self.clock.observe(op.clock)
+        self.stats.driver_ops += 1
+        yield self.sim.timeout(self.meter.cost_ns("driver_op", cfg.ni_driver_op_instr))
+        if op.op == "alloc":
+            self.endpoints[op.ep.ep_id] = op.ep
+            op.done.trigger(None)
+        elif op.op == "free":
+            ep = op.ep
+            self.endpoints.pop(ep.ep_id, None)
+            if ep.frame is not None and self.frames[ep.frame] is ep:
+                self.frames[ep.frame] = None
+            op.done.trigger(None)
+        elif op.op == "load":
+            self.sim.spawn(self._do_load(op), name=f"nic{self.nic_id}.load")
+        elif op.op == "unload":
+            op.ep.quiescing = True
+            self._pending_unloads.append((op.ep, op))
+            self._work.set()
+        else:
+            op.done.fail(ValueError(f"unknown driver op {op.op!r}"))
+
+    def _do_load(self, op: DriverOp):
+        """Move an endpoint image from host memory into an NI frame."""
+        ep, frame = op.ep, op.frame
+        if frame is None or self.frames[frame] is not None:
+            op.done.fail(RuntimeError(f"frame {frame} not free for load"))
+            return
+        self.frames[frame] = ep  # reserve before the DMA
+        yield from self.sbus.transfer(self.cfg.frame_bytes, SbusDma.READ)
+        ep.frame = frame
+        ep.residency = Residency.ONNIC_RW
+        ep.mr_requested = False
+        ep.transition = False
+        if ep.send_ring:
+            self._enqueue_rotation(ep)
+        self._work.set()
+        op.done.trigger(None)
+
+    def _check_unloads(self) -> None:
+        """Start unload DMAs for quiescent endpoints (Section 5.3)."""
+        if not self._pending_unloads:
+            return
+        still = []
+        for ep, op in self._pending_unloads:
+            if ep.inflight == 0:
+                self.sim.spawn(self._do_unload(ep, op), name=f"nic{self.nic_id}.unload")
+            else:
+                still.append((ep, op))
+        self._pending_unloads = still
+
+    def _do_unload(self, ep: EndpointState, op: DriverOp):
+        yield from self.sbus.transfer(self.cfg.frame_bytes, SbusDma.WRITE)
+        if ep.frame is not None and self.frames[ep.frame] is ep:
+            self.frames[ep.frame] = None
+        ep.frame = None
+        ep.residency = Residency.ONHOST_RO
+        ep.quiescing = False
+        ep.in_rotation = False
+        op.done.trigger(None)

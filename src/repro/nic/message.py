@@ -1,0 +1,89 @@
+"""Messages: the unit the transport protocol moves exactly once.
+
+A message is what the Active Message library writes into an endpoint's
+send ring (one descriptor).  The NI binds it to a logical flow-control
+channel, transmits it (possibly many times), and eventually resolves it as
+DELIVERED (positive acknowledgment) or RETURNED (undeliverable, handed
+back to the sender's error handler — Section 3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["Message", "MessageState", "MsgKind", "next_msg_id"]
+
+_msg_ids = itertools.count(1)
+
+
+def next_msg_id() -> int:
+    return next(_msg_ids)
+
+
+class MessageState(Enum):
+    #: in the send ring, not yet bound to a channel
+    PENDING = "pending"
+    #: bound to a channel, waiting its turn or an acknowledgment
+    BOUND = "bound"
+    #: unbound from its channel after too many consecutive retransmissions;
+    #: a later retransmission will reacquire a channel (Section 5.1)
+    UNBOUND = "unbound"
+    #: positively acknowledged -- written into the destination endpoint
+    DELIVERED = "delivered"
+    #: undeliverable; returned to the sender (Section 3.2)
+    RETURNED = "returned"
+
+
+class MsgKind(Enum):
+    REQUEST = "request"
+    REPLY = "reply"
+
+
+@dataclass
+class Message:
+    """One Active Message in flight (or one bulk fragment)."""
+
+    src_node: int
+    src_ep: int
+    dst_node: int
+    dst_ep: int
+    key: int
+    kind: MsgKind
+    payload_bytes: int = 0
+    #: True for bulk fragments: payload travels via SBus DMA to/from host
+    #: memory regions instead of living in the endpoint frame
+    is_bulk: bool = False
+    #: handler index + arguments (opaque to the NI)
+    body: Any = None
+    msg_id: int = field(default_factory=next_msg_id)
+
+    # -- transport state (owned by the sending NI) --------------------------
+    state: MessageState = MessageState.PENDING
+    #: time the NI first transmitted it (for the dead timeout)
+    first_tx_ns: Optional[int] = None
+    enqueued_ns: Optional[int] = None
+    delivered_ns: Optional[int] = None
+    transmissions: int = 0
+    consecutive_retrans: int = 0
+    #: why the message was returned, if it was (NackReason or "timeout")
+    return_reason: Any = None
+    #: invoked on the sender side when resolved: fn(msg, delivered: bool)
+    on_resolved: Optional[Callable[["Message", bool], None]] = None
+
+    def resolve(self, delivered: bool) -> None:
+        if self.on_resolved is not None:
+            self.on_resolved(self, delivered)
+
+    @property
+    def dst(self) -> Tuple[int, int]:
+        return (self.dst_node, self.dst_ep)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Msg {self.msg_id} {self.kind.value}"
+            f" ({self.src_node},{self.src_ep})->({self.dst_node},{self.dst_ep})"
+            f" {self.payload_bytes}B {self.state.value}>"
+        )

@@ -1,0 +1,16 @@
+"""Operating-system resource management: threads, the endpoint segment driver."""
+
+from .clock import LamportClock
+from .process import UserProcess
+from .segdriver import DriverStats, SegmentDriver
+from .threads import CondVar, Mutex, Thread
+
+__all__ = [
+    "CondVar",
+    "DriverStats",
+    "LamportClock",
+    "Mutex",
+    "SegmentDriver",
+    "Thread",
+    "UserProcess",
+]

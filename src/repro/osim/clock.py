@@ -1,0 +1,10 @@
+"""Logical clocks for driver/NI event ordering (re-export).
+
+The implementation lives with the protocol definitions in
+:mod:`repro.nic.driver_port`; this module keeps the documented layout
+(`repro.osim.clock`) importable without a package cycle.
+"""
+
+from ..nic.driver_port import LamportClock
+
+__all__ = ["LamportClock"]

@@ -1,0 +1,55 @@
+"""User processes: containers of threads and endpoints on one node.
+
+A process groups the threads it spawns and the endpoints it allocated so
+that termination can release everything — process termination invokes the
+segment-driver methods that free endpoint segments, synchronizing
+de-allocation with the network interface (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+from ..nic.endpoint_state import EndpointState
+from .threads import Thread
+
+if TYPE_CHECKING:
+    from ..cluster.builder import Node
+
+__all__ = ["UserProcess"]
+
+
+class UserProcess:
+    """One application process on a node."""
+
+    def __init__(self, node: "Node", name: str = "proc"):
+        self.node = node
+        self.name = name
+        self.threads: list[Thread] = []
+        self.endpoints: list[EndpointState] = []
+        self.terminated = False
+
+    def spawn_thread(self, body: Callable[[Thread], Generator], name: str = "") -> Thread:
+        if self.terminated:
+            raise RuntimeError(f"process {self.name} already terminated")
+        thr = Thread(
+            self.node.sim,
+            self.node.cpu,
+            body,
+            name=name or f"{self.name}.t{len(self.threads)}",
+        )
+        self.threads.append(thr)
+        return thr
+
+    def adopt_endpoint(self, ep: EndpointState) -> None:
+        self.endpoints.append(ep)
+
+    def terminate(self) -> Generator:
+        """Release all endpoints through the segment driver (generator)."""
+        self.terminated = True
+        for thr in self.threads:
+            if not thr.finished:
+                thr.interrupt("process terminated")
+        for ep in list(self.endpoints):
+            yield from self.node.driver.free_endpoint(ep)
+        self.endpoints.clear()

@@ -1,0 +1,298 @@
+"""The endpoint segment driver (Section 4).
+
+Endpoint management is cast as a virtual memory problem: endpoints are
+memory-mapped objects whose backing store migrates between NI frames
+(on-nic r/w), cacheable host memory (on-host r/w and r/o) and the swap
+area (on-disk) — the four-state protocol of Figure 2.
+
+Key mechanisms reproduced here:
+
+* **Write faults** move an endpoint from on-host r/o to on-host r/w and
+  *schedule* its re-mapping, letting the faulting thread continue
+  immediately.  This asynchronous state was added for robustness under
+  high re-mapping load (Section 6.4.1) and can be disabled
+  (``enable_onhost_rw=False``) to reproduce the single-threaded-server
+  collapse ablation.
+* **A background remap kernel thread** services re-mapping requests:
+  evicting a victim (random replacement, Section 4.1) when all frames are
+  occupied, quiescing and unloading it through the NI, then loading the
+  target endpoint.
+* **A proxy kernel thread** performs operations on behalf of the NI: the
+  arrival of a message for a non-resident endpoint generates a
+  software-initiated page fault through the same driver mechanisms.
+* **Logical clocks** order events initiated concurrently by the two
+  agents, e.g. the driver freeing an endpoint while the NI asks for it to
+  be made resident (a stale generation/clock is discarded).
+
+Both kernel threads consume real host CPU, so heavy re-mapping competes
+with application threads — the effect behind Figure 6's ST-8 behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from ..cluster.config import ClusterConfig
+from ..hw.host import Cpu
+from ..nic.driver_port import DriverOp, LamportClock
+from ..nic.endpoint_state import EndpointState, Residency
+from ..nic.firmware import Nic
+from ..sim.core import Event, Simulator, us
+from ..sim.resources import Gate
+from ..sim.rng import RngStreams
+
+__all__ = ["SegmentDriver", "DriverStats"]
+
+
+@dataclass
+class DriverStats:
+    allocs: int = 0
+    frees: int = 0
+    write_faults: int = 0
+    proxy_faults: int = 0
+    remaps: int = 0
+    evictions: int = 0
+    loads: int = 0
+    unloads: int = 0
+    pageins: int = 0
+    pageouts: int = 0
+    events_delivered: int = 0
+    stale_notifies: int = 0
+
+    def remap_rate(self, elapsed_ns: int) -> float:
+        """Re-mappings per second over ``elapsed_ns`` (cf. §6.4.1's 200-300/s)."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.remaps / (elapsed_ns / 1e9)
+
+
+class SegmentDriver:
+    """Per-node endpoint segment driver extending the VM system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: ClusterConfig,
+        nic: Nic,
+        cpu: Cpu,
+        rngs: Optional[RngStreams] = None,
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.nic = nic
+        self.cpu = cpu
+        self.rng = (rngs or RngStreams(cfg.seed)).stream(f"driver{nic.nic_id}")
+        self.clock = LamportClock()
+        self.stats = DriverStats()
+
+        self.endpoints: dict[int, EndpointState] = {}
+        self._next_ep_id = 1
+        self._remap_q: Deque[EndpointState] = deque()
+        self._remap_gate = Gate(sim, name=f"drv{nic.nic_id}.remap")
+        #: events triggered when an endpoint becomes resident (blocked
+        #: writers under the enable_onhost_rw=False ablation, and am_wait)
+        self._resident_waiters: dict[int, list[Event]] = {}
+
+        #: distinct scheduler identities for the two kernel threads
+        self._remap_owner = object()
+        self._proxy_owner = object()
+        self._remap_thread = sim.spawn(self._remap_loop(), name=f"drv{nic.nic_id}.remap")
+        self._proxy_thread = sim.spawn(self._proxy_loop(), name=f"drv{nic.nic_id}.proxy")
+
+    def _kwait(self, owner, waitable):
+        """Kernel thread blocking wait: release the CPU lease first."""
+        self.cpu.release_lease(owner)
+        result = yield waitable
+        return result
+
+    # ===================================================== user-facing (gen)
+    def alloc_endpoint(self, tag: int = 0, owner=None) -> "Generator":
+        """Allocate an endpoint: segment creation + NI registration.
+
+        Generator; returns the new :class:`EndpointState` (initially
+        on-host r/o, per Figure 2).  ``owner`` is the calling thread: the
+        system call runs in its scheduler context at kernel priority.
+        """
+        own = owner if owner is not None else object()
+        yield from self.cpu.compute(us(self.cfg.ep_alloc_us), owner=own, priority=1)
+        ep = EndpointState(
+            self.nic.nic_id,
+            self._next_ep_id,
+            send_ring_depth=self.cfg.send_ring_depth,
+            recv_queue_depth=self.cfg.recv_queue_depth,
+            tag=tag,
+        )
+        self._next_ep_id += 1
+        done = Event(self.sim)
+        self.nic.driver_request(DriverOp("alloc", ep, done, clock=self.clock.tick()))
+        yield from self._kwait(own, done)
+        self.endpoints[ep.ep_id] = ep
+        self.stats.allocs += 1
+        return ep
+
+    def free_endpoint(self, ep: EndpointState) -> "Generator":
+        """Free an endpoint; synchronizes de-allocation with the NI (§4.2)."""
+        if ep.residency is Residency.FREED:
+            return
+        if ep.resident or ep.quiescing:
+            yield from self._unload(ep)
+        ep.residency = Residency.FREED
+        ep.generation += 1  # stale NI notifications now discarded
+        done = Event(self.sim)
+        self.nic.driver_request(DriverOp("free", ep, done, clock=self.clock.tick()))
+        yield done
+        self.endpoints.pop(ep.ep_id, None)
+        self.stats.frees += 1
+
+    def write_fault(self, ep: EndpointState, owner=None) -> "Generator":
+        """Application wrote a non-resident endpoint (Figure 2 transitions).
+
+        on-host r/o -> on-host r/w (+ schedule re-mapping); on-disk pages
+        in first.  With ``enable_onhost_rw`` disabled the faulting thread
+        blocks until the endpoint is resident (the original design whose
+        collapse Section 6.4.1 describes).
+        """
+        if ep.residency in (Residency.ONNIC_RW, Residency.FREED):
+            return
+        if ep.residency is Residency.ONDISK:
+            self.stats.pageins += 1
+            yield self.sim.timeout(us(self.cfg.disk_pagein_us))
+            ep.residency = Residency.ONHOST_RO
+        if ep.residency is Residency.ONHOST_RO:
+            self.stats.write_faults += 1
+            own = owner if owner is not None else object()
+            yield from self.cpu.compute(us(self.cfg.host_fault_us), owner=own, priority=1)
+            if owner is None:
+                self.cpu.release_lease(own)
+            ep.residency = Residency.ONHOST_RW
+        self.request_remap(ep)
+        if not self.cfg.enable_onhost_rw:
+            # Synchronous fault handling: suspend until resident.
+            yield self.wait_resident(ep)
+
+    def pageout(self, ep: EndpointState) -> None:
+        """VM page reclamation: on-host r/o endpoints may go to disk."""
+        if ep.residency is Residency.ONHOST_RO:
+            ep.residency = Residency.ONDISK
+            self.stats.pageouts += 1
+
+    def wait_resident(self, ep: EndpointState) -> Event:
+        """Event triggered when ``ep`` reaches on-nic r/w."""
+        ev = Event(self.sim)
+        if ep.resident:
+            ev.trigger(None)
+        else:
+            self._resident_waiters.setdefault(ep.ep_id, []).append(ev)
+        return ev
+
+    # ========================================================== remap engine
+    def request_remap(self, ep: EndpointState) -> None:
+        """Queue an endpoint for the background remap thread."""
+        if ep.resident or ep.transition or ep.residency is Residency.FREED:
+            return
+        if ep not in self._remap_q:
+            self._remap_q.append(ep)
+            self._remap_gate.set()
+
+    def _remap_loop(self):
+        cfg = self.cfg
+        while True:
+            if not self._remap_q:
+                self._remap_gate.clear()
+                yield from self._kwait(self._remap_owner, self._remap_gate.wait())
+                # Periodic servicing (Section 4.2): the thread wakes and
+                # scans; model the wake-to-scan delay.
+                yield from self._kwait(self._remap_owner, self.sim.timeout(us(cfg.remap_scan_period_us)))
+                continue
+            ep = self._remap_q.popleft()
+            if ep.resident or ep.transition or ep.residency is Residency.FREED:
+                continue
+            yield from self._make_resident(ep)
+
+    def _make_resident(self, ep: EndpointState):
+        """Bind an endpoint to an NI frame, evicting if necessary (§4.1)."""
+        cfg = self.cfg
+        ep.transition = True
+        yield from self.cpu.compute(us(cfg.remap_driver_overhead_us / 2), owner=self._remap_owner, priority=1)
+        # off-CPU synchronization latency of the re-mapping (§4.2)
+        yield from self._kwait(self._remap_owner, self.sim.timeout(us(cfg.remap_sync_latency_us)))
+        frame = self.nic.free_frame_index()
+        if frame is None:
+            victim = self._choose_victim()
+            if victim is None:
+                # Everything is quiescing or in transition; retry shortly.
+                ep.transition = False
+                self.sim.schedule(us(cfg.remap_scan_period_us), self.request_remap, ep)
+                return
+            yield from self._unload(victim)
+            self.stats.evictions += 1
+            # A victim with queued work will fault back in (thrash is the
+            # workload's problem, not the policy's -- Section 6.4).
+            if victim.send_ring or victim.mr_requested:
+                self.request_remap(victim)
+            frame = self.nic.free_frame_index()
+            if frame is None:
+                ep.transition = False
+                self.request_remap(ep)
+                return
+        if ep.residency is Residency.FREED:
+            ep.transition = False
+            return
+        done = Event(self.sim)
+        self.nic.driver_request(DriverOp("load", ep, done, clock=self.clock.tick(), frame=frame))
+        yield from self._kwait(self._remap_owner, done)
+        self.stats.loads += 1
+        self.stats.remaps += 1
+        yield from self.cpu.compute(us(cfg.remap_driver_overhead_us / 2), owner=self._remap_owner, priority=1)
+        for ev in self._resident_waiters.pop(ep.ep_id, []):
+            ev.trigger(None)
+
+    def _choose_victim(self) -> Optional[EndpointState]:
+        candidates = [
+            cand
+            for cand in self.nic.resident_endpoints()
+            if not cand.quiescing and not cand.transition
+        ]
+        if not candidates:
+            return None
+        if self.cfg.replacement_policy == "lru":
+            return min(candidates, key=lambda c: c.last_active_ns)
+        return self.rng.choice(candidates)
+
+    def _unload(self, ep: EndpointState):
+        """Quiesce and unload an endpoint (the NI handles the draining)."""
+        ep.transition = True
+        done = Event(self.sim)
+        self.nic.driver_request(DriverOp("unload", ep, done, clock=self.clock.tick()))
+        yield from self._kwait(self._remap_owner, done)
+        ep.transition = False
+        self.stats.unloads += 1
+
+    # ============================================================ proxy loop
+    def _proxy_loop(self):
+        """Consume NI->driver notifications (Section 4.2's proxy thread)."""
+        cfg = self.cfg
+        while True:
+            note = yield from self._kwait(self._proxy_owner, self.nic.to_driver.get())
+            self.clock.observe(note.clock)
+            ep = self.endpoints.get(note.ep_id)
+            if ep is None or ep.generation != note.generation or ep.residency is Residency.FREED:
+                # Race resolved by generation + logical clock (§4.3): the
+                # endpoint was freed while the notification was in flight.
+                self.stats.stale_notifies += 1
+                continue
+            if note.kind == "make_resident":
+                # Simulate the effect of a page fault with no faulting
+                # instruction: a software-initiated fault (Section 4.2).
+                self.stats.proxy_faults += 1
+                yield from self.cpu.compute(us(cfg.proxy_fault_us), owner=self._proxy_owner, priority=1)
+                if ep.residency is Residency.ONHOST_RO:
+                    ep.residency = Residency.ONHOST_RW
+                self.request_remap(ep)
+            elif note.kind == "event":
+                yield from self.cpu.compute(cfg.event_notify_ns, owner=self._proxy_owner, priority=1)
+                self.stats.events_delivered += 1
+                if ep.event_callback is not None:
+                    ep.event_callback(note.detail)

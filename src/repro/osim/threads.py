@@ -1,0 +1,160 @@
+"""Kernel/user threads and POSIX-style synchronization (Section 3.3).
+
+The programming interface deliberately reuses standard thread
+synchronization instead of inventing an event model: endpoints sensitize
+condition variables to state transitions and threads wait on them.  This
+module provides the simulated equivalents — :class:`Thread` (a body
+generator bound to a host CPU), :class:`Mutex` and :class:`CondVar`.
+
+A thread body is a generator function receiving the :class:`Thread`; it
+consumes CPU with ``yield from thr.compute(ns)`` and blocks with
+``yield event`` / ``yield from cv.wait_with(mutex)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from ..hw.host import Cpu
+from ..sim.core import Event, Interrupted, SimError, Simulator
+
+__all__ = ["Thread", "Mutex", "CondVar"]
+
+_thread_ids = itertools.count(1)
+
+
+class Thread:
+    """A schedulable thread on one node's CPU."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: Cpu,
+        body: Callable[["Thread"], Generator],
+        name: str = "",
+    ):
+        self.sim = sim
+        self.cpu = cpu
+        self.tid = next(_thread_ids)
+        self.name = name or f"thread{self.tid}"
+        #: accumulated CPU time (filled in by the scheduler)
+        self.cpu_ns = 0
+        self.proc = sim.spawn(self._run(body), name=self.name)
+
+    def _run(self, body: Callable[["Thread"], Generator]) -> Generator:
+        try:
+            result = yield from body(self)
+        except Interrupted as intr:
+            # An uncaught interrupt is a clean cancellation (e.g. process
+            # termination), not an error.
+            result = intr.cause
+        finally:
+            # A finished (or failed) thread must not keep the CPU lease.
+            self.cpu.release_lease(self)
+        return result
+
+    @property
+    def done(self):
+        return self.proc.done
+
+    @property
+    def finished(self) -> bool:
+        return self.proc.finished
+
+    @property
+    def result(self) -> Any:
+        return self.proc.result
+
+    def compute(self, ns: int) -> Generator:
+        """Consume CPU time (sliced and preemptible by the quantum)."""
+        yield from self.cpu.compute(ns, owner=self)
+
+    def block(self, waitable: Any) -> Generator:
+        """Wait off-CPU: release the scheduler lease, then wait.
+
+        All blocking waits inside thread bodies should go through this (or
+        :meth:`sleep`) so other runnable threads get the CPU immediately
+        rather than at lease expiry.
+        """
+        self.cpu.release_lease(self)
+        result = yield waitable
+        return result
+
+    def sleep(self, ns: int) -> Generator:
+        """Block off-CPU for ``ns``."""
+        yield from self.block(self.sim.timeout(ns))
+
+    def interrupt(self, cause: Any = None) -> None:
+        self.proc.interrupt(cause)
+
+    def __repr__(self) -> str:
+        return f"<Thread {self.name}>"
+
+
+class Mutex:
+    """FIFO mutex with owner tracking."""
+
+    def __init__(self, sim: Simulator, name: str = "mutex"):
+        self.sim = sim
+        self.name = name
+        self._owner: Optional[Thread] = None
+        self._waiters: list[tuple[Event, Thread]] = []
+
+    @property
+    def locked(self) -> bool:
+        return self._owner is not None
+
+    def acquire(self, thread: Thread) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.acq")
+        if self._owner is None:
+            self._owner = thread
+            ev.trigger(None)
+        else:
+            self._waiters.append((ev, thread))
+        return ev
+
+    def release(self, thread: Thread) -> None:
+        if self._owner is not thread:
+            raise SimError(f"{thread} releasing {self.name} owned by {self._owner}")
+        if self._waiters:
+            ev, nxt = self._waiters.pop(0)
+            self._owner = nxt
+            ev.trigger(None)
+        else:
+            self._owner = None
+
+
+class CondVar:
+    """Condition variable; signals wake waiters in FIFO order."""
+
+    def __init__(self, sim: Simulator, name: str = "cv"):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Event] = []
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        """Bare wait (no mutex): yield the returned event."""
+        ev = Event(self.sim, name=f"{self.name}.wait")
+        self._waiters.append(ev)
+        return ev
+
+    def wait_with(self, mutex: Mutex, thread: Thread) -> Generator:
+        """Atomically release ``mutex``, wait, and reacquire."""
+        ev = self.wait()
+        mutex.release(thread)
+        yield from thread.block(ev)
+        yield mutex.acquire(thread)
+
+    def signal(self, value: Any = None) -> None:
+        if self._waiters:
+            self._waiters.pop(0).trigger(value)
+
+    def broadcast(self, value: Any = None) -> None:
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.trigger(value)

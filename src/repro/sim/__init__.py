@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel used by the whole reproduction."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupted,
+    NS_PER_MS,
+    NS_PER_S,
+    NS_PER_US,
+    Process,
+    SimError,
+    Simulator,
+    Timeout,
+    ms,
+    seconds,
+    us,
+)
+from .resources import Gate, Resource, Store
+from .rng import RngStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Gate",
+    "Interrupted",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "NS_PER_US",
+    "Process",
+    "Resource",
+    "RngStreams",
+    "SimError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "ms",
+    "seconds",
+    "us",
+]

@@ -1,0 +1,182 @@
+"""Synchronization and queueing primitives built on the event kernel.
+
+These are deliberately small: a counted FIFO :class:`Resource`, a FIFO
+:class:`Store` (bounded or unbounded), and a level-triggered :class:`Gate`.
+Higher layers (OS mutexes, condition variables, NIC work queues) are built
+from these.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Event, SimError, Simulator
+
+__all__ = ["Resource", "Store", "Gate"]
+
+
+class Resource:
+    """A counted resource granted in strict FIFO order.
+
+    ``yield res.acquire()`` blocks until a unit is available; every acquire
+    must be paired with exactly one :meth:`release`.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.acquire")
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            ev.trigger(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True if a unit was granted."""
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the unit directly to the next waiter (count unchanged).
+            self._waiters.popleft().trigger(None)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """A FIFO queue of items with optional capacity.
+
+    ``yield store.get()`` evaluates to the next item; ``yield store.put(x)``
+    blocks while the store is full.  Items are delivered in put order and
+    getters are served in arrival order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise SimError(f"store capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.put")
+        if self._getters:
+            # Direct handoff keeps FIFO order: store must be empty here.
+            self._getters.popleft().trigger(item)
+            ev.trigger(None)
+        elif not self.full:
+            self._items.append(item)
+            ev.trigger(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; False if the store is full."""
+        if self._getters:
+            self._getters.popleft().trigger(item)
+            return True
+        if self.full:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.get")
+        if self._items:
+            ev.trigger(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns (ok, item)."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.full:
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.trigger(None)
+
+
+class Gate:
+    """A level-triggered flag processes can wait on.
+
+    While *set*, waits complete immediately; while *clear*, waiters queue
+    until the next :meth:`set`.  Used for "work available" signalling where
+    edge-triggered one-shot events would race.
+    """
+
+    def __init__(self, sim: Simulator, is_set: bool = False, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._set = is_set
+        self._waiters: list[Event] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def wait(self) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.wait")
+        if self._set:
+            ev.trigger(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def set(self) -> None:
+        if self._set:
+            return
+        self._set = True
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.trigger(None)
+
+    def clear(self) -> None:
+        self._set = False
+
+    def pulse(self) -> None:
+        """Release current waiters without leaving the gate set."""
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.trigger(None)

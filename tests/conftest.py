@@ -1,0 +1,15 @@
+"""Test-suite configuration.
+
+Hypothesis deadlines are disabled: property tests run whole simulations,
+whose wallclock varies with machine load even though the *simulated*
+behaviour is deterministic.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,154 @@
+"""Cross-layer integration scenarios exercising several subsystems at once."""
+
+import pytest
+
+from repro.am import NameService, build_parallel_vnet, build_star_vnet, create_endpoint
+from repro.cluster import Cluster, ClusterConfig
+from repro.lib.mpi import build_world
+from repro.lib.rpc import RpcClient, RpcServer
+from repro.sim import ms, us
+
+
+def test_mpi_job_beside_client_server_service():
+    """General-purpose use (Section 1): a parallel MPI job and a
+    client/server service share the cluster, each in its own virtual
+    network, without interfering with correctness."""
+    cluster = Cluster(ClusterConfig(num_hosts=8))
+    sim = cluster.sim
+
+    # an MPI job on nodes 0-3
+    world = cluster.run_process(build_world(cluster, [0, 1, 2, 3]), "mpi")
+    mpi_result = {}
+
+    def mpi_main(thr, comm):
+        total = yield from comm.allreduce(thr, comm.rank + 1, lambda a, b: a + b, 8)
+        yield from comm.barrier(thr)
+        if comm.rank == 0:
+            mpi_result["sum"] = total
+        return None
+
+    mpi_threads = world.spawn(mpi_main)
+
+    # a client/server service on nodes 4-7 (server on 4)
+    servers, clients = cluster.run_process(
+        build_star_vnet(cluster, 4, [5, 6, 7], shared_server_ep=True), "svc"
+    )
+    sep = servers[0]
+    served = [0]
+
+    def handler(token, x):
+        served[0] += 1
+
+    stop = {"flag": False}
+
+    def server(thr):
+        while not stop["flag"]:
+            n = yield from sep.poll(thr, limit=8)
+            if n == 0:
+                yield from sep.wait(thr, timeout_ns=ms(2))
+
+    def make_client(cep):
+        def client(thr):
+            for i in range(40):
+                yield from cep.request(thr, 0, handler, i)
+                yield from cep.poll(thr, limit=4)
+            while cep.credits_available(0) < cluster.cfg.user_credits:
+                yield from cep.poll(thr)
+                yield from thr.compute(us(2))
+
+        return client
+
+    cluster.node(4).start_process().spawn_thread(server)
+    client_threads = [
+        cluster.node(5 + i).start_process().spawn_thread(make_client(cep))
+        for i, cep in enumerate(clients)
+    ]
+    cluster.run(until=sim.now + ms(2_000))
+    stop["flag"] = True
+    assert all(t.finished for t in mpi_threads)
+    assert mpi_result["sum"] == 10
+    assert all(t.finished for t in client_threads)
+    assert served[0] == 120
+
+
+def test_many_endpoints_one_process_share_one_nic():
+    """One process may hold many endpoints (Section 3); all page through
+    the same 8 frames alongside each other."""
+    cluster = Cluster(ClusterConfig(num_hosts=2))
+    sim = cluster.sim
+    eps = []
+    for _ in range(12):  # 12 endpoints on node 0, 8 frames
+        ep = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
+        eps.append(ep)
+    peer = cluster.run_process(create_endpoint(cluster.node(1), rngs=cluster.rngs), "p")
+    for i, ep in enumerate(eps):
+        ep.map(0, peer.name, peer.tag)
+        peer.map(i, ep.name, ep.tag)
+    got = []
+
+    def handler(token, idx):
+        got.append(idx)
+
+    def sender(thr):
+        for rnd in range(3):
+            for i, ep in enumerate(eps):
+                yield from ep.request(thr, 0, handler, i)
+        for _ in range(4000):
+            for ep in eps:
+                yield from ep.poll(thr, limit=2)
+            if len(got) >= 36:
+                break
+            yield from thr.compute(us(10))
+
+    def receiver(thr):
+        while len(got) < 36:
+            yield from peer.poll(thr, limit=16)
+
+    cluster.node(1).start_process().spawn_thread(receiver)
+    cluster.node(0).start_process().spawn_thread(sender)
+    cluster.run(until=sim.now + ms(2_000))
+    assert len(got) == 36
+    assert sorted(set(got)) == list(range(12))
+    # paging really happened: more endpoints than frames
+    assert cluster.node(0).driver.stats.evictions > 0
+
+
+def test_rpc_over_paged_endpoints_under_load():
+    """RPC keeps working while its endpoints are victimized by other
+    endpoints' residency demands."""
+    cluster = Cluster(ClusterConfig(num_hosts=3, endpoint_frames=2))
+    sim = cluster.sim
+    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "v")
+    server = RpcServer(vnet[0])
+    server.register("mul", lambda a, b: a * b)
+    client = RpcClient(vnet[1], server_index=0)
+    stop = {"flag": False}
+    cluster.node(0).start_process().spawn_thread(lambda thr: server.serve_loop(thr, stop))
+
+    # competing endpoints on node 0 churn the 2 frames
+    churn_eps = []
+    for _ in range(3):
+        ep = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "c")
+        churn_eps.append(ep)
+
+    def churner():
+        while not stop["flag"]:
+            for ep in churn_eps:
+                cluster.node(0).driver.request_remap(ep.state)
+            yield sim.timeout(ms(2))
+
+    sim.spawn(churner())
+
+    def call_loop(thr):
+        results = []
+        for i in range(10):
+            value = yield from client.call(thr, server, "mul", i, 3)
+            results.append(value)
+        stop["flag"] = True
+        return results
+
+    t = cluster.node(1).start_process().spawn_thread(call_loop)
+    cluster.run(until=sim.now + ms(5_000))
+    assert t.finished
+    assert t.result == [i * 3 for i in range(10)]
+    assert cluster.node(0).driver.stats.remaps > 2  # churn was real

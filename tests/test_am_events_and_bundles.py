@@ -1,0 +1,133 @@
+"""Event-mask and bundle behaviours (Section 3.3) in more depth."""
+
+import pytest
+
+from repro.am import Bundle, build_parallel_vnet, create_endpoint
+from repro.cluster import Cluster, ClusterConfig
+from repro.sim import ms, us
+
+
+def build(n=4, **kw):
+    return Cluster(ClusterConfig(num_hosts=n, **kw))
+
+
+def test_event_only_on_empty_to_nonempty_transition():
+    """The NI notifies only when a message lands in an EMPTY queue, so a
+    busy endpoint does not generate a wakeup per message."""
+    cluster = build()
+    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "v")
+    ep0, ep1 = vnet[0], vnet[1]
+    ep1.set_event_mask({"recv"})
+    got = []
+
+    def handler(token, i):
+        got.append(i)
+
+    def sender(thr):
+        for i in range(20):
+            yield from ep0.request(thr, 1, handler, i)
+        for _ in range(3000):
+            yield from ep0.poll(thr)
+            if ep0.credits_available(1) == cluster.cfg.user_credits:
+                break
+            yield from thr.compute(us(2))
+
+    def receiver(thr):
+        # deliberately slow consumer: the queue stays non-empty
+        while len(got) < 20:
+            yield from ep1.poll(thr, limit=4)
+            yield from thr.compute(us(50))
+
+    cluster.node(1).start_process().spawn_thread(receiver)
+    cluster.node(0).start_process().spawn_thread(sender)
+    cluster.run(until=cluster.sim.now + ms(500))
+    assert len(got) == 20
+    # far fewer notifications than messages
+    assert cluster.node(1).driver.stats.events_delivered < 10
+
+
+def test_returned_event_mask_wakes_waiter():
+    """The 'returned' transition can also be sensitized (Section 3.3)."""
+    cluster = build(dead_timeout_ms=10.0)
+    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "v")
+    ep0 = vnet[0]
+    ep0.map(5, (1, 99), key=1)  # nonexistent endpoint
+    ep0.set_event_mask({"returned"})
+    outcome = {}
+
+    def body(thr):
+        yield from ep0.request(thr, 5, None)
+        woke = yield from ep0.wait(thr, timeout_ns=ms(400))
+        outcome["woke"] = woke
+        yield from ep0.poll(thr)
+        outcome["undeliverable"] = ep0.stats.undeliverable
+
+    t = cluster.node(0).start_process().spawn_thread(body)
+    cluster.run(until=cluster.sim.now + ms(800))
+    assert t.finished
+    assert outcome["woke"] is True
+    assert outcome["undeliverable"] == 1
+
+
+def test_exclusive_endpoint_skips_lock_cost():
+    cluster = build()
+    ep = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
+    assert ep._lock_cost() == 0
+    ep.set_shared(True)
+    assert ep._lock_cost() == cluster.cfg.shared_ep_lock_ns
+    ep.set_shared(False)
+    assert ep._lock_cost() == 0
+
+
+def test_bundle_wait_any_wakes_for_any_member():
+    cluster = build()
+    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "v")
+    sender_ep = vnet[1]
+    ep_a = vnet[0]
+    ep_b = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "b")
+    sender_ep.map(7, ep_b.name, ep_b.tag)
+    bundle = Bundle([ep_a, ep_b])
+    got = []
+
+    def handler(token, which):
+        got.append(which)
+
+    def service(thr):
+        woke = yield from bundle.wait_any(thr, timeout_ns=ms(300))
+        assert woke
+        while not got:
+            yield from bundle.poll_all(thr)
+        return got[0]
+
+    def sender(thr):
+        yield from thr.sleep(ms(5))
+        # send to the SECOND bundle member only
+        yield from sender_ep.request(thr, 7, handler, "ep_b")
+        for _ in range(2000):
+            yield from sender_ep.poll(thr)
+            if sender_ep.credits_available(7) == cluster.cfg.user_credits:
+                break
+            yield from thr.compute(us(2))
+
+    t = cluster.node(0).start_process().spawn_thread(service)
+    cluster.node(1).start_process().spawn_thread(sender)
+    cluster.run(until=cluster.sim.now + ms(1_000))
+    assert t.finished and t.result == "ep_b"
+
+
+def test_bundle_remove_and_empty_wait_rejected():
+    cluster = build()
+    ep = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
+    bundle = Bundle([ep])
+    bundle.remove(ep)
+    assert len(bundle) == 0
+
+    def body(thr):
+        try:
+            yield from bundle.wait_any(thr)
+        except ValueError:
+            return "rejected"
+
+    t = cluster.node(0).start_process().spawn_thread(body)
+    cluster.run(until=cluster.sim.now + ms(10))
+    assert t.result == "rejected"

@@ -1,0 +1,102 @@
+"""Unit tests for the GAM baseline (first-generation Active Messages)."""
+
+from repro.am.gam import GAM_WINDOW, GamCluster
+from repro.cluster import ClusterConfig
+from repro.sim import ms
+
+
+def build(n=4, **kw):
+    return GamCluster(ClusterConfig(num_hosts=n, **kw))
+
+
+def test_request_reply_roundtrip():
+    cluster = build()
+    ge0, ge1 = cluster.node(0).endpoint, cluster.node(1).endpoint
+    got, replies = [], []
+
+    def handler(token, x):
+        got.append(x)
+        token.reply(lambda t: replies.append(True))
+
+    def client(thr):
+        yield from ge0.request(thr, 1, handler, 7)
+        while not replies:
+            yield from ge0.poll(thr)
+
+    def server(thr):
+        while not got:
+            yield from ge1.poll(thr)
+        for _ in range(20):
+            yield from ge1.poll(thr)
+            yield from thr.compute(1_000)
+
+    cluster.node(1).spawn_thread(server)
+    cluster.node(0).spawn_thread(client)
+    cluster.run(until=ms(50))
+    assert got == [7] and replies == [True]
+
+
+def test_window_limits_outstanding():
+    cluster = build()
+    ge0, ge1 = cluster.node(0).endpoint, cluster.node(1).endpoint
+    seen = []
+
+    def handler(token, i):
+        seen.append(i)
+
+    def client(thr):
+        for i in range(3 * GAM_WINDOW):
+            yield from ge0.request(thr, 1, handler, i)
+            assert ge0._window.get(1, 0) <= GAM_WINDOW
+        while ge0._window.get(1, 0) > 0:
+            yield from ge0.poll(thr)
+            yield from thr.compute(1_000)
+
+    def server(thr):
+        while len(seen) < 3 * GAM_WINDOW:
+            yield from ge1.poll(thr)
+
+    cluster.node(1).spawn_thread(server)
+    cluster.node(0).spawn_thread(client)
+    cluster.run(until=ms(100))
+    assert sorted(seen) == list(range(3 * GAM_WINDOW))
+    assert ge0.stats.window_stalls > 0
+
+
+def test_bulk_fragments_at_4k_and_reassembles():
+    cluster = build()
+    cfg = cluster.cfg
+    ge0, ge1 = cluster.node(0).endpoint, cluster.node(1).endpoint
+    done = []
+
+    def handler(token):
+        done.append(token.nbytes)
+
+    nbytes = cfg.gam_mtu_bytes * 2 + 512  # 3 fragments
+
+    def client(thr):
+        yield from ge0.request(thr, 1, handler, nbytes=nbytes)
+        while ge0._window.get(1, 0) > 0:
+            yield from ge0.poll(thr)
+            yield from thr.compute(2_000)
+
+    def server(thr):
+        while not done:
+            yield from ge1.poll(thr)
+
+    cluster.node(1).spawn_thread(server)
+    cluster.node(0).spawn_thread(client)
+    cluster.run(until=ms(100))
+    assert done == [nbytes]
+    assert ge0.stats.bulk_bytes_sent == nbytes
+
+
+def test_gam_small_messages_cheaper_than_am():
+    """GAM's per-message firmware budgets undercut AM-II's (Figure 3)."""
+    cfg = ClusterConfig()
+    gam_tx = cfg.gam_ni_send_instr + cfg.gam_ni_send_post_instr
+    am_tx = cfg.ni_send_instr + cfg.ni_send_post_instr + cfg.ni_ack_proc_instr
+    assert gam_tx < am_tx
+    gam_rx = cfg.gam_ni_recv_instr + cfg.gam_ni_recv_post_instr
+    am_rx = cfg.ni_recv_instr + cfg.ni_errcheck_instr + cfg.ni_ack_gen_instr
+    assert gam_rx < am_rx

@@ -1,0 +1,111 @@
+"""Unit tests for the application workloads (small configurations)."""
+
+import pytest
+
+from repro.apps.clientserver import CONFIG_NAMES, ContentionConfig, run_contention
+from repro.apps.linpack import LinpackModel, linpack_gflops
+from repro.apps.npb import MACHINES, NPB_SPECS, analytic_time, run_npb, valid_proc_counts
+from repro.apps.timeshare import TimeshareConfig, run_timeshare
+
+
+# --------------------------------------------------------------- contention
+def test_contention_one_client_near_peak():
+    r = run_contention(ContentionConfig(nclients=1, mode="one_vn", duration_ms=60, warmup_ms=40))
+    assert 65_000 <= r.aggregate_msgs_s <= 80_000  # paper peak: 78K msg/s
+
+
+def test_contention_proportional_share():
+    r = run_contention(ContentionConfig(nclients=3, mode="one_vn", duration_ms=60, warmup_ms=40))
+    mean = r.aggregate_msgs_s / 3
+    for per in r.per_client_msgs_s:
+        assert abs(per - mean) / mean < 0.15  # proportional (Figure 6a)
+
+
+def test_contention_bad_mode_rejected():
+    with pytest.raises(ValueError):
+        run_contention(ContentionConfig(nclients=1, mode="nope"))
+
+
+def test_contention_config_builds_cluster_size():
+    ccfg = ContentionConfig(nclients=5, frames=96)
+    cc = ccfg.cluster_config()
+    assert cc.num_hosts == 6
+    assert cc.endpoint_frames == 96
+
+
+def test_contention_result_min_max():
+    from repro.apps.clientserver import ContentionResult
+
+    r = ContentionResult(config=None, per_client_msgs_s=[1.0, 3.0, 2.0])
+    assert r.min_client_msgs_s == 1.0
+    assert r.max_client_msgs_s == 3.0
+    assert ContentionResult(config=None).min_client_msgs_s == 0.0
+
+
+# ---------------------------------------------------------------------- NPB
+def test_npb_proc_count_validity():
+    assert valid_proc_counts("bt", 36) == [1, 4, 9, 16, 25, 36]
+    assert valid_proc_counts("ft", 32) == [1, 2, 4, 8, 16, 32]
+    with pytest.raises(ValueError):
+        run_npb("bt", 8)  # not a square
+
+
+def test_npb_single_proc_is_baseline():
+    r = run_npb("cg", 1)
+    assert r.speedup == 1.0
+    assert r.comm_fraction == 0.0
+    assert r.time_s == NPB_SPECS["cg"].t1_seconds
+
+
+def test_npb_cg_scales():
+    r = run_npb("cg", 4)
+    assert 3.0 <= r.speedup <= 5.5
+    assert 0.0 < r.comm_fraction < 0.3
+
+
+def test_npb_ep_nearly_ideal():
+    r = run_npb("ep", 8)
+    assert 7.5 <= r.speedup <= 8.5
+
+
+def test_npb_analytic_machines_ordering():
+    """Origin nodes are fastest; NOW scales better than the SP-2."""
+    for name in ("cg", "mg"):
+        t_now = analytic_time(name, 16, MACHINES["now"])
+        t_sp2 = analytic_time(name, 16, MACHINES["sp2"])
+        t_org = analytic_time(name, 16, MACHINES["origin2000"])
+        assert t_org < t_now  # faster machine
+        s_now = analytic_time(name, 1, MACHINES["now"]) / t_now
+        s_sp2 = analytic_time(name, 1, MACHINES["sp2"]) / t_sp2
+        assert s_now > s_sp2  # better scalability (Figure 5)
+
+
+def test_npb_volume_models_positive():
+    for name, spec in NPB_SPECS.items():
+        per_rank, msgs, bisection = spec.volume(16)
+        assert per_rank >= 0 and msgs >= 0 and bisection >= 0
+        assert spec.volume(1) == (0.0, 0.0, 0.0)
+
+
+# ------------------------------------------------------------------ Linpack
+def test_linpack_near_paper_value():
+    gf = linpack_gflops()
+    assert 9.0 <= gf <= 11.5  # paper: 10.14 GF
+
+
+def test_linpack_scales_with_nodes():
+    assert linpack_gflops(25) < linpack_gflops(100)
+
+
+def test_linpack_grid_factorization():
+    assert LinpackModel(nodes=100).grid() == (10, 10)
+    assert LinpackModel(nodes=32).grid() == (4, 8)
+
+
+# ---------------------------------------------------------------- timeshare
+def test_timeshare_small_config():
+    r = run_timeshare(TimeshareConfig(nnodes=4, napps=2, iterations=8))
+    # time-shared execution is within a modest factor of sequential
+    assert 0.8 <= r.slowdown <= 1.3
+    # communication time stays nearly constant (Section 6.3)
+    assert 0.7 <= r.comm_ratio <= 1.5

@@ -1,0 +1,100 @@
+"""Tests for the parallel I/O subsystem (Figure 1's River-style component)."""
+
+import pytest
+
+from repro.apps.pario import DiskModel, build_pario
+from repro.cluster import Cluster, ClusterConfig
+from repro.sim import ms
+
+
+def build(n=6, **kw):
+    return Cluster(ClusterConfig(num_hosts=n, **kw))
+
+
+def test_write_read_roundtrip():
+    cluster = build()
+    sf, servers, stop = cluster.run_process(
+        build_pario(cluster, 0, [1, 2, 3], stripe_bytes=4096), "pario"
+    )
+    payload = bytes(i % 250 for i in range(3 * 4096 + 777))
+
+    def client(thr):
+        yield from sf.write(thr, "f", payload)
+        data = yield from sf.read(thr, "f", len(payload))
+        stop["flag"] = True
+        return data
+
+    t = cluster.node(0).start_process().spawn_thread(client)
+    cluster.run(until=cluster.sim.now + ms(5_000))
+    assert t.finished
+    assert t.result == payload
+
+
+def test_stripes_spread_across_servers():
+    cluster = build()
+    sf, servers, stop = cluster.run_process(
+        build_pario(cluster, 0, [1, 2, 3], stripe_bytes=1024), "pario"
+    )
+    payload = bytes(9 * 1024)  # 9 stripes over 3 servers
+
+    def client(thr):
+        yield from sf.write(thr, "f", payload)
+        stop["flag"] = True
+
+    t = cluster.node(0).start_process().spawn_thread(client)
+    cluster.run(until=cluster.sim.now + ms(5_000))
+    assert t.finished
+    assert [s.writes for s in servers] == [3, 3, 3]  # round-robin striping
+
+
+def test_parallel_reads_beat_single_server():
+    """Aggregate read bandwidth scales with server count (the River point)."""
+
+    def timed_read(nservers):
+        cluster = build(n=nservers + 1)
+        disk = DiskModel(seek_us=2_000.0, transfer_mb_s=12.0)
+        sf, servers, stop = cluster.run_process(
+            build_pario(cluster, 0, list(range(1, nservers + 1)),
+                        stripe_bytes=65536, disk=disk),
+            "pario",
+        )
+        payload = bytes(8 * 65536)  # 512 KB
+
+        def client(thr):
+            yield from sf.write(thr, "f", payload)
+            t0 = cluster.sim.now
+            yield from sf.read(thr, "f", len(payload))
+            stop["flag"] = True
+            return cluster.sim.now - t0
+
+        t = cluster.node(0).start_process().spawn_thread(client)
+        cluster.run(until=cluster.sim.now + ms(60_000))
+        assert t.finished
+        return t.result
+
+    t1 = timed_read(1)
+    t4 = timed_read(4)
+    assert t4 < t1 / 2  # disks work in parallel
+
+
+def test_read_missing_block_returns_empty():
+    cluster = build()
+    sf, servers, stop = cluster.run_process(
+        build_pario(cluster, 0, [1], stripe_bytes=4096), "pario"
+    )
+
+    def client(thr):
+        data = yield from sf.read(thr, "ghost", 100)
+        stop["flag"] = True
+        return data
+
+    t = cluster.node(0).start_process().spawn_thread(client)
+    cluster.run(until=cluster.sim.now + ms(2_000))
+    assert t.result == b""
+
+
+def test_disk_model_costs():
+    disk = DiskModel(seek_us=8_000.0, transfer_mb_s=12.0)
+    assert disk.access_ns(0) == 8_000_000
+    # 12 MB/s => ~83.3 ns/byte
+    assert abs(disk.access_ns(1_000_000) - (8_000_000 + 83_333_333)) < 10

@@ -1,0 +1,64 @@
+"""Tests for the contention sweep API and reporting (no heavy runs)."""
+
+from repro.apps.clientserver import ContentionConfig, ContentionResult
+from repro.bench.contention import FIG6_CONFIGS, SweepResult, report
+
+
+def fake_result(nclients, per_client, overruns=0, remaps=0.0):
+    r = ContentionResult(config=ContentionConfig(nclients=nclients))
+    r.per_client_msgs_s = list(per_client)
+    r.aggregate_msgs_s = sum(per_client)
+    r.aggregate_mb_s = r.aggregate_msgs_s * 0 / 1e6
+    r.overrun_nacks = overruns
+    r.remaps_per_s = remaps
+    return r
+
+
+def make_sweep(msg_bytes=0):
+    sweep = SweepResult(msg_bytes=msg_bytes, clients=[1, 2])
+    for label, _, _ in FIG6_CONFIGS:
+        sweep.series[label] = [
+            fake_result(1, [70_000.0], remaps=250.0 if "8" in label else 0.0),
+            fake_result(2, [35_000.0, 35_000.0], overruns=900),
+        ]
+    return sweep
+
+
+def test_sweep_aggregate_series():
+    sweep = make_sweep()
+    assert sweep.aggregate_series("OneVN") == [70_000.0, 70_000.0]
+
+
+def test_sweep_per_client_series_mean():
+    sweep = make_sweep()
+    assert sweep.per_client_series("ST-8") == [70_000.0, 35_000.0]
+
+
+def test_sweep_bulk_units():
+    sweep = SweepResult(msg_bytes=8192, clients=[1])
+    r = fake_result(1, [5_000.0])
+    r.aggregate_mb_s = r.aggregate_msgs_s * 8192 / 1e6
+    sweep.series["OneVN"] = [r]
+    assert abs(sweep.aggregate_series("OneVN")[0] - 40.96) < 0.01
+    assert abs(sweep.per_client_series("OneVN")[0] - 40.96) < 0.01
+
+
+def test_report_formats_all_configs():
+    sweep = make_sweep()
+    text = report(sweep)
+    assert "Figure 6" in text
+    for label, _, _ in FIG6_CONFIGS:
+        assert label in text
+    assert "paper: 200-300" not in text or "remaps/s" in text
+
+
+def test_report_mentions_remaps_past_eight_clients():
+    sweep = SweepResult(msg_bytes=0, clients=[8, 12])
+    for label, _, _ in FIG6_CONFIGS:
+        sweep.series[label] = [
+            fake_result(8, [8_000.0] * 8),
+            fake_result(12, [5_000.0] * 12, remaps=280.0),
+        ]
+    text = report(sweep)
+    assert "remaps/s past 8 clients" in text
+    assert "12:280" in text

@@ -1,0 +1,33 @@
+"""Smoke tests: the shipped examples import and the cheapest one runs."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "client_server", "parallel_stencil", "hotswap_failover", "parallel_io"],
+)
+def test_example_imports(name):
+    module = load(name)
+    assert callable(module.main)
+
+
+def test_quickstart_runs(capsys):
+    module = load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "greetings delivered: ['hello, virtual networks']" in out
+    assert "on-nic r/w" in out  # residency transition happened

@@ -1,0 +1,179 @@
+"""Unit tests for the mini-MPI layer on Active Messages."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.lib.mpi import ANY, build_world
+from repro.sim import ms
+
+
+def run_mpi(nranks, main, until_ms=3_000, **cfg_kw):
+    cluster = Cluster(ClusterConfig(num_hosts=max(2, nranks), **cfg_kw))
+    world = cluster.run_process(build_world(cluster, list(range(nranks))), "mpi")
+    threads = world.spawn(main)
+    cluster.run(until=cluster.sim.now + ms(until_ms))
+    for t in threads:
+        assert t.finished, f"{t.name} did not finish"
+    return world, [t.result for t in threads]
+
+
+def test_send_recv_pingpong():
+    def main(thr, comm):
+        if comm.rank == 0:
+            yield from comm.send(thr, 1, "ping", 16, payload="hello")
+            src, tag, payload, nbytes = yield from comm.recv(thr, 1, "pong")
+            return payload
+        src, tag, payload, nbytes = yield from comm.recv(thr, 0, "ping")
+        assert payload == "hello" and nbytes == 16
+        yield from comm.send(thr, 0, "pong", 16, payload="world")
+        return payload
+
+    _, results = run_mpi(2, main)
+    assert results == ["world", "hello"]
+
+
+def test_recv_wildcards_and_ordering():
+    def main(thr, comm):
+        if comm.rank == 0:
+            for i in range(5):
+                yield from comm.send(thr, 1, "data", 8, payload=i)
+            return None
+        got = []
+        for _ in range(5):
+            _, _, payload, _ = yield from comm.recv(thr, ANY, ANY)
+            got.append(payload)
+        return got
+
+    _, results = run_mpi(2, main)
+    assert results[1] == [0, 1, 2, 3, 4]  # per-pair FIFO at the library
+
+
+def test_recv_tag_selectivity():
+    def main(thr, comm):
+        if comm.rank == 0:
+            yield from comm.send(thr, 1, "b", 8, payload="second")
+            yield from comm.send(thr, 1, "a", 8, payload="first")
+            return None
+        _, _, p1, _ = yield from comm.recv(thr, 0, "a")
+        _, _, p2, _ = yield from comm.recv(thr, 0, "b")
+        return (p1, p2)
+
+    _, results = run_mpi(2, main)
+    assert results[1] == ("first", "second")
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 7])
+def test_barrier_synchronizes(nranks):
+    arrivals = {}
+
+    def main(thr, comm):
+        # stagger arrival
+        yield from thr.sleep(comm.rank * 1_000_000)
+        yield from comm.barrier(thr)
+        arrivals[comm.rank] = comm.world.sim.now
+        return None
+
+    run_mpi(nranks, main)
+    times = [arrivals[r] for r in range(nranks)]
+    # nobody leaves the barrier before the last rank arrived (~(n-1) ms in)
+    assert min(times) >= (nranks - 1) * 1_000_000
+
+
+@pytest.mark.parametrize("nranks,root", [(4, 0), (4, 2), (5, 1)])
+def test_bcast(nranks, root):
+    def main(thr, comm):
+        payload = "tree" if comm.rank == root else None
+        result = yield from comm.bcast(thr, root, 1024, payload)
+        return result
+
+    _, results = run_mpi(nranks, main)
+    assert results == ["tree"] * nranks
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 5])
+def test_reduce_sum(nranks):
+    def main(thr, comm):
+        result = yield from comm.reduce(thr, 0, comm.rank + 1, lambda a, b: a + b, 8)
+        return result
+
+    _, results = run_mpi(nranks, main)
+    assert results[0] == nranks * (nranks + 1) // 2
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 8])
+def test_allreduce_max(nranks):
+    def main(thr, comm):
+        result = yield from comm.allreduce(thr, comm.rank * 10, max, 8)
+        return result
+
+    _, results = run_mpi(nranks, main)
+    assert results == [(nranks - 1) * 10] * nranks
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 5])
+def test_allgather(nranks):
+    def main(thr, comm):
+        result = yield from comm.allgather(thr, f"r{comm.rank}", 64)
+        return result
+
+    _, results = run_mpi(nranks, main)
+    expected = [f"r{i}" for i in range(nranks)]
+    assert all(r == expected for r in results)
+
+
+@pytest.mark.parametrize("nranks", [2, 4])
+def test_alltoall(nranks):
+    def main(thr, comm):
+        values = [(comm.rank, dst) for dst in range(comm.size)]
+        result = yield from comm.alltoall(thr, values, 256)
+        return result
+
+    _, results = run_mpi(nranks, main)
+    for rank, r in enumerate(results):
+        assert r == [(src, rank) for src in range(nranks)]
+
+
+def test_gather():
+    def main(thr, comm):
+        result = yield from comm.gather(thr, 0, comm.rank ** 2, 8)
+        return result
+
+    _, results = run_mpi(4, main)
+    assert results[0] == [0, 1, 4, 9]
+
+
+def test_send_bad_rank_raises():
+    def main(thr, comm):
+        try:
+            yield from comm.send(thr, 99, "x", 8)
+        except ValueError:
+            return "raised"
+
+    _, results = run_mpi(2, main)
+    assert results[0] == "raised"
+
+
+def test_comm_time_accounted():
+    def main(thr, comm):
+        yield from comm.barrier(thr)
+        return comm.comm_ns
+
+    world, results = run_mpi(4, main)
+    assert all(r > 0 for r in results)
+    assert world.total_comm_ns() == sum(results)
+
+
+def test_large_message_fragments():
+    nbytes = 3 * 8192 + 10
+
+    def main(thr, comm):
+        if comm.rank == 0:
+            yield from comm.send(thr, 1, "big", nbytes)
+            return None
+        _, _, _, got = yield from comm.recv(thr, 0, "big")
+        return got
+
+    _, results = run_mpi(2, main)
+    # the receiver sees the reassembled full size
+    assert results[1] == nbytes

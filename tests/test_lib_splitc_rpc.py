@@ -1,0 +1,146 @@
+"""Unit tests for the Split-C layer and the RPC package."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.lib.rpc import RpcClient, RpcError, RpcServer
+from repro.lib.splitc import build_splitc_world
+from repro.am import build_parallel_vnet
+from repro.sim import ms
+
+
+def build(n=4, **kw):
+    return Cluster(ClusterConfig(num_hosts=n, **kw))
+
+
+def run_splitc(nranks, main, until_ms=3_000):
+    cluster = build(max(2, nranks))
+    world = cluster.run_process(build_splitc_world(cluster, list(range(nranks))), "scw")
+    threads = world.spawn(main)
+    cluster.run(until=cluster.sim.now + ms(until_ms))
+    for t in threads:
+        assert t.finished, f"{t.name} hung"
+    return world, [t.result for t in threads]
+
+
+# ------------------------------------------------------------------ Split-C
+def test_put_lands_in_remote_memory():
+    def main(thr, ctx):
+        if ctx.rank == 0:
+            yield from ctx.put(thr, 1, "k", 99, 1024)
+        yield from ctx.barrier(thr)
+        yield from ctx.barrier(thr)  # give the put time to complete
+        return ctx.memory.get("k")
+
+    _, results = run_splitc(2, main)
+    assert results[1] == 99
+
+
+def test_get_split_phase_and_sync():
+    def main(thr, ctx):
+        ctx.memory[("data", ctx.rank)] = ctx.rank * 10
+        yield from ctx.barrier(thr)
+        if ctx.rank == 0:
+            yield from ctx.get(thr, 1, ("data", 1), 2048)
+            values = yield from ctx.sync(thr)
+            return values[("data", 1)]
+        # rank 1 services gets for a while
+        for _ in range(500):
+            yield from ctx.endpoint.poll(thr)
+            yield from thr.compute(2_000)
+        return None
+
+    _, results = run_splitc(2, main)
+    assert results[0] == 10
+
+
+def test_barrier_over_splitc():
+    order = []
+
+    def main(thr, ctx):
+        yield from thr.sleep(ctx.rank * 500_000)
+        yield from ctx.barrier(thr)
+        order.append((ctx.world.sim.now, ctx.rank))
+
+    run_splitc(4, main)
+    times = [t for t, _ in order]
+    # all ranks exit within a short window after the last arrival
+    assert max(times) - min(times) < 1_000_000
+
+
+def test_comm_time_tracked():
+    def main(thr, ctx):
+        yield from ctx.barrier(thr)
+        return ctx.comm_ns
+
+    world, results = run_splitc(4, main)
+    assert all(r > 0 for r in results)
+
+
+# ---------------------------------------------------------------------- RPC
+def rpc_pair():
+    cluster = build(4)
+    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
+    server_ep, client_ep = vnet[0], vnet[1]
+    server = RpcServer(server_ep)
+    client = RpcClient(client_ep, server_index=0)
+    return cluster, server, client
+
+
+def test_rpc_roundtrip():
+    cluster, server, client = rpc_pair()
+    server.register("add", lambda a, b: a + b)
+    stop = {"flag": False}
+    cluster.node(0).start_process().spawn_thread(lambda thr: server.serve_loop(thr, stop))
+
+    def call(thr):
+        result = yield from client.call(thr, server, "add", 2, 3)
+        stop["flag"] = True
+        return result
+
+    t = cluster.node(1).start_process().spawn_thread(call)
+    cluster.run(until=cluster.sim.now + ms(500))
+    assert t.result == 5
+    assert server.calls_served == 1
+
+
+def test_rpc_unknown_procedure_raises():
+    cluster, server, client = rpc_pair()
+    stop = {"flag": False}
+    cluster.node(0).start_process().spawn_thread(lambda thr: server.serve_loop(thr, stop))
+
+    def call(thr):
+        try:
+            yield from client.call(thr, server, "nope")
+        except RpcError as err:
+            stop["flag"] = True
+            return str(err)
+
+    t = cluster.node(1).start_process().spawn_thread(call)
+    cluster.run(until=cluster.sim.now + ms(500))
+    assert "no such procedure" in t.result
+
+
+def test_rpc_duplicate_registration_rejected():
+    _, server, _ = rpc_pair()
+    server.register("f", lambda: 1)
+    with pytest.raises(ValueError):
+        server.register("f", lambda: 2)
+
+
+def test_rpc_dead_server_surfaces_error():
+    """Crash + return-to-sender shows up as an RpcError, not a hang (§3.2)."""
+    cluster, server, client = rpc_pair()
+    cluster.cfg.dead_timeout_ms = 15.0
+    server.register("f", lambda: 1)
+    cluster.crash_node(0)
+
+    def call(thr):
+        try:
+            yield from client.call(thr, server, "f")
+        except RpcError as err:
+            return "failed"
+
+    t = cluster.node(1).start_process().spawn_thread(call)
+    cluster.run(until=cluster.sim.now + ms(800))
+    assert t.finished and t.result == "failed"

@@ -1,0 +1,145 @@
+"""Tests for the VIA extension layer (Section 7 / conclusions)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.lib.via import (
+    ERROR,
+    RECV,
+    SEND_DONE,
+    CompletionQueue,
+    connect_vis,
+    create_vi,
+    full_mesh_vis,
+)
+from repro.sim import ms
+
+
+def build(n=4, **kw):
+    return Cluster(ClusterConfig(num_hosts=n, **kw))
+
+
+def make_pair(cluster):
+    cq0 = CompletionQueue(cluster.node(0), "cq0")
+    cq1 = CompletionQueue(cluster.node(1), "cq1")
+    vi0 = cluster.run_process(create_vi(cluster.node(0), cq0, cluster), "v0")
+    vi1 = cluster.run_process(create_vi(cluster.node(1), cq1, cluster), "v1")
+    connect_vis(vi0, vi1)
+    return cq0, cq1, vi0, vi1
+
+
+def test_vi_send_completes_on_both_sides():
+    cluster = build()
+    cq0, cq1, vi0, vi1 = make_pair(cluster)
+    events = {"recv": None, "send_done": None}
+
+    def sender(thr):
+        yield from vi0.post_send(thr, 1024, context="xfer-1", payload="hello")
+        completion = yield from cq0.wait(thr, timeout_ns=ms(200))
+        events["send_done"] = completion
+
+    def receiver(thr):
+        completion = yield from cq1.wait(thr, timeout_ns=ms(200))
+        events["recv"] = completion
+
+    cluster.node(1).start_process().spawn_thread(receiver)
+    cluster.node(0).start_process().spawn_thread(sender)
+    cluster.run(until=cluster.sim.now + ms(500))
+    assert events["recv"] is not None and events["recv"].kind == RECV
+    assert events["recv"].payload == "hello"
+    assert events["recv"].nbytes == 1024
+    assert events["send_done"] is not None and events["send_done"].kind == SEND_DONE
+    assert events["send_done"].context == "xfer-1"
+
+
+def test_vi_requires_connection():
+    cluster = build()
+    cq = CompletionQueue(cluster.node(0))
+    vi = cluster.run_process(create_vi(cluster.node(0), cq, cluster), "v")
+    proc = cluster.node(0).start_process()
+
+    def body(thr):
+        try:
+            yield from vi.post_send(thr, 16)
+        except RuntimeError:
+            return "unconnected"
+
+    t = proc.spawn_thread(body)
+    cluster.run(until=cluster.sim.now + ms(10))
+    assert t.result == "unconnected"
+
+
+def test_vi_double_connect_rejected():
+    cluster = build()
+    _, _, vi0, vi1 = make_pair(cluster)
+    with pytest.raises(RuntimeError):
+        vi0.connect(vi1.endpoint.name, vi1.endpoint.tag)
+
+
+def test_shared_completion_queue_across_vis():
+    """Several VIs share one CQ: the central polling point (Section 7)."""
+    cluster = build(6)
+    server_cq = CompletionQueue(cluster.node(0), "server-cq")
+    client_vis = []
+    server_vis = []
+    for i in range(3):
+        svi = cluster.run_process(create_vi(cluster.node(0), server_cq, cluster), f"s{i}")
+        ccq = CompletionQueue(cluster.node(i + 1))
+        cvi = cluster.run_process(create_vi(cluster.node(i + 1), ccq, cluster), f"c{i}")
+        connect_vis(svi, cvi)
+        server_vis.append(svi)
+        client_vis.append((cvi, ccq))
+
+    got = []
+
+    def server(thr):
+        while len(got) < 3:
+            completion = yield from server_cq.wait(thr, timeout_ns=ms(50))
+            if completion is not None and completion.kind == RECV:
+                got.append(completion.context)
+
+    def make_client(i, cvi, ccq):
+        def client(thr):
+            yield from cvi.post_send(thr, 64, context=f"client{i}")
+            yield from ccq.wait(thr, timeout_ns=ms(300))
+
+        return client
+
+    cluster.node(0).start_process().spawn_thread(server)
+    for i, (cvi, ccq) in enumerate(client_vis):
+        cluster.node(i + 1).start_process().spawn_thread(make_client(i, cvi, ccq))
+    cluster.run(until=cluster.sim.now + ms(800))
+    assert sorted(got) == ["client0", "client1", "client2"]
+    # all three connections completed through ONE queue
+    assert sum(v.recvs_completed for v in server_vis) == 3
+
+
+def test_full_mesh_needs_n_squared_vis():
+    """The Section 7 contrast: n*(n-1) VIs vs n endpoints."""
+    cluster = build(4)
+    cqs, vis = cluster.run_process(full_mesh_vis(cluster, [0, 1, 2, 3]), "mesh")
+    count = sum(len(row) for row in vis.values())
+    assert count == 4 * 3
+    # every pair is connected both ways
+    for i in range(4):
+        for j in range(4):
+            if i != j:
+                assert vis[i][j].connected
+
+
+def test_vi_error_completion_on_dead_peer():
+    """Reliable-delivery failures surface as ERROR completions."""
+    cluster = build(dead_timeout_ms=15.0)
+    cq0, cq1, vi0, vi1 = make_pair(cluster)
+    cluster.crash_node(1)
+    seen = {}
+
+    def sender(thr):
+        yield from vi0.post_send(thr, 128, context="doomed")
+        completion = yield from cq0.wait(thr, timeout_ns=ms(400))
+        seen["c"] = completion
+
+    cluster.node(0).start_process().spawn_thread(sender)
+    cluster.run(until=cluster.sim.now + ms(800))
+    assert seen["c"] is not None
+    assert seen["c"].kind == ERROR

@@ -1,0 +1,186 @@
+"""Unit tests for simulated threads, mutexes, and condition variables."""
+
+import pytest
+
+from repro.hw import Cpu
+from repro.osim import CondVar, Mutex, Thread
+from repro.sim import SimError, Simulator
+
+
+def make():
+    sim = Simulator()
+    cpu = Cpu(sim, quantum_ns=1_000_000, context_switch_ns=0)
+    return sim, cpu
+
+
+def test_thread_runs_and_returns():
+    sim, cpu = make()
+
+    def body(thr):
+        yield from thr.compute(5_000)
+        return "done"
+
+    t = Thread(sim, cpu, body)
+    sim.run()
+    assert t.finished and t.result == "done"
+    assert sim.now == 5_000
+
+
+def test_threads_share_cpu():
+    sim, cpu = make()
+    cpu.quantum_ns = 1_000
+    ends = {}
+
+    def body(thr):
+        yield from thr.compute(5_000)
+        ends[thr.name] = sim.now
+
+    Thread(sim, cpu, body, name="a")
+    Thread(sim, cpu, body, name="b")
+    sim.run()
+    assert min(ends.values()) >= 9_000  # interleaved, not sequential
+
+
+def test_thread_sleep_releases_cpu():
+    sim, cpu = make()
+    log = []
+
+    def sleeper(thr):
+        yield from thr.sleep(10_000)
+        log.append(("sleeper", sim.now))
+
+    def worker(thr):
+        yield from thr.compute(5_000)
+        log.append(("worker", sim.now))
+
+    Thread(sim, cpu, sleeper)
+    Thread(sim, cpu, worker)
+    sim.run()
+    assert ("worker", 5_000) in log  # worker ran during the sleep
+
+
+def test_mutex_mutual_exclusion():
+    sim, cpu = make()
+    holder = []
+
+    def body(thr, mtx):
+        yield mtx.acquire(thr)
+        holder.append(thr.name)
+        assert len(holder) == 1
+        yield from thr.sleep(1_000)
+        holder.remove(thr.name)
+        mtx.release(thr)
+
+    mtx = Mutex(sim)
+    Thread(sim, cpu, lambda t: body(t, mtx), name="a")
+    Thread(sim, cpu, lambda t: body(t, mtx), name="b")
+    sim.run()
+    assert holder == []
+
+
+def test_mutex_release_by_non_owner_raises():
+    sim, cpu = make()
+    mtx = Mutex(sim)
+
+    def a(thr):
+        yield mtx.acquire(thr)
+
+    def b(thr):
+        yield from thr.sleep(10)
+        mtx.release(thr)
+
+    Thread(sim, cpu, a, name="a")
+    Thread(sim, cpu, b, name="b")
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_condvar_signal_wakes_one_fifo():
+    sim, cpu = make()
+    woke = []
+
+    def waiter(thr, cv):
+        val = yield cv.wait()
+        woke.append((thr.name, val))
+
+    cv = CondVar(sim)
+    Thread(sim, cpu, lambda t: waiter(t, cv), name="w1")
+    Thread(sim, cpu, lambda t: waiter(t, cv), name="w2")
+
+    def signaller(thr):
+        yield from thr.sleep(100)
+        cv.signal("x")
+        yield from thr.sleep(100)
+        cv.signal("y")
+
+    Thread(sim, cpu, signaller, name="s")
+    sim.run()
+    assert woke == [("w1", "x"), ("w2", "y")]
+
+
+def test_condvar_broadcast_wakes_all():
+    sim, cpu = make()
+    woke = []
+    cv = CondVar(sim)
+
+    def waiter(thr):
+        yield cv.wait()
+        woke.append(thr.name)
+
+    for name in ("a", "b", "c"):
+        Thread(sim, cpu, waiter, name=name)
+
+    def caster(thr):
+        yield from thr.sleep(50)
+        cv.broadcast()
+
+    Thread(sim, cpu, caster)
+    sim.run()
+    assert sorted(woke) == ["a", "b", "c"]
+
+
+def test_condvar_wait_with_mutex_reacquires():
+    sim, cpu = make()
+    mtx = Mutex(sim)
+    cv = CondVar(sim)
+    log = []
+
+    def consumer(thr):
+        yield mtx.acquire(thr)
+        yield from cv.wait_with(mtx, thr)
+        log.append(("consumer-owns", mtx._owner is thr))
+        mtx.release(thr)
+
+    def producer(thr):
+        yield from thr.sleep(10)
+        yield mtx.acquire(thr)  # possible: consumer released it in wait
+        log.append("producer-in")
+        cv.signal()
+        mtx.release(thr)
+
+    Thread(sim, cpu, consumer, name="c")
+    Thread(sim, cpu, producer, name="p")
+    sim.run()
+    assert "producer-in" in log
+    assert ("consumer-owns", True) in log
+
+
+def test_thread_interrupt():
+    sim, cpu = make()
+
+    def body(thr):
+        try:
+            yield from thr.sleep(1_000_000)
+        except Exception:
+            return "interrupted"
+        return "slept"
+
+    t = Thread(sim, cpu, body)
+
+    def killer():
+        yield sim.timeout(100)
+        t.interrupt("stop")
+
+    sim.spawn(killer())
+    sim.run()
+    assert t.result == "interrupted"

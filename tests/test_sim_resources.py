@@ -1,0 +1,266 @@
+"""Unit tests for Resource, Store and Gate."""
+
+import pytest
+
+from repro.sim import Gate, Resource, SimError, Simulator, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_grants_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(name, hold):
+        yield res.acquire()
+        order.append((sim.now, name, "got"))
+        yield sim.timeout(hold)
+        res.release()
+
+    sim.spawn(user("a", 10))
+    sim.spawn(user("b", 10))
+    sim.spawn(user("c", 10))
+    sim.run()
+    assert order == [(0, "a", "got"), (10, "b", "got"), (20, "c", "got")]
+
+
+def test_resource_capacity_two_runs_pairs():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    got = []
+
+    def user(name):
+        yield res.acquire()
+        got.append((sim.now, name))
+        yield sim.timeout(10)
+        res.release()
+
+    for name in "abcd":
+        sim.spawn(user(name))
+    sim.run()
+    assert got == [(0, "a"), (0, "b"), (10, "c"), (10, "d")]
+
+
+def test_resource_try_acquire():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    assert res.try_acquire()
+    assert not res.try_acquire()
+    res.release()
+    assert res.try_acquire()
+
+
+def test_resource_release_idle_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimError):
+        res.release()
+
+
+def test_resource_bad_capacity():
+    with pytest.raises(SimError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_resource_queue_length_tracks_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        yield res.acquire()
+        yield sim.timeout(100)
+        res.release()
+
+    def waiter():
+        yield res.acquire()
+        res.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.spawn(waiter())
+    sim.run(until=50)
+    assert res.queue_length == 2
+    sim.run()
+    assert res.queue_length == 0
+
+
+# ------------------------------------------------------------------- Store
+def test_store_put_then_get():
+    sim = Simulator()
+    st = Store(sim)
+
+    def proc():
+        yield st.put("x")
+        yield st.put("y")
+        a = yield st.get()
+        b = yield st.get()
+        return [a, b]
+
+    assert sim.run_process(proc()) == ["x", "y"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    st = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield st.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(25)
+        yield st.put("late")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [(25, "late")]
+
+
+def test_store_bounded_put_blocks():
+    sim = Simulator()
+    st = Store(sim, capacity=1)
+    timeline = []
+
+    def producer():
+        yield st.put(1)
+        timeline.append(("p1", sim.now))
+        yield st.put(2)
+        timeline.append(("p2", sim.now))
+
+    def consumer():
+        yield sim.timeout(40)
+        item = yield st.get()
+        timeline.append(("g", sim.now, item))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert ("p1", 0) in timeline
+    assert ("g", 40, 1) in timeline
+    assert ("p2", 40) in timeline
+
+
+def test_store_try_put_try_get():
+    sim = Simulator()
+    st = Store(sim, capacity=2)
+    assert st.try_put(1)
+    assert st.try_put(2)
+    assert not st.try_put(3)
+    ok, item = st.try_get()
+    assert ok and item == 1
+    ok, _ = st.try_get()
+    assert ok
+    ok, item = st.try_get()
+    assert not ok and item is None
+
+
+def test_store_fifo_across_many_items():
+    sim = Simulator()
+    st = Store(sim)
+    out = []
+
+    def producer():
+        for i in range(50):
+            yield st.put(i)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(50):
+            out.append((yield st.get()))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert out == list(range(50))
+
+
+def test_store_direct_handoff_to_waiting_getter():
+    sim = Simulator()
+    st = Store(sim, capacity=1)
+
+    def consumer():
+        return (yield st.get())
+
+    p = sim.spawn(consumer())
+
+    def producer():
+        yield sim.timeout(5)
+        assert st.try_put("direct")
+
+    sim.spawn(producer())
+    sim.run()
+    assert p.result == "direct"
+    assert len(st) == 0
+
+
+# -------------------------------------------------------------------- Gate
+def test_gate_set_wakes_all_waiters():
+    sim = Simulator()
+    gate = Gate(sim)
+    woke = []
+
+    def waiter(name):
+        yield gate.wait()
+        woke.append((sim.now, name))
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+
+    def setter():
+        yield sim.timeout(15)
+        gate.set()
+
+    sim.spawn(setter())
+    sim.run()
+    assert sorted(woke) == [(15, "a"), (15, "b")]
+
+
+def test_gate_set_is_level_triggered():
+    sim = Simulator()
+    gate = Gate(sim, is_set=True)
+
+    def waiter():
+        yield gate.wait()
+        return sim.now
+
+    assert sim.run_process(waiter()) == 0
+
+
+def test_gate_clear_blocks_later_waiters():
+    sim = Simulator()
+    gate = Gate(sim, is_set=True)
+    gate.clear()
+    woke = []
+
+    def waiter():
+        yield gate.wait()
+        woke.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert woke == []
+    gate.set()
+    sim.run()
+    assert woke == [0]
+
+
+def test_gate_pulse_wakes_but_stays_clear():
+    sim = Simulator()
+    gate = Gate(sim)
+    woke = []
+
+    def waiter(tag):
+        yield gate.wait()
+        woke.append(tag)
+
+    sim.spawn(waiter("first"))
+    sim.run()
+    gate.pulse()
+    sim.run()
+    assert woke == ["first"]
+    assert not gate.is_set
+    sim.spawn(waiter("second"))
+    sim.run()
+    assert woke == ["first"]  # second still blocked

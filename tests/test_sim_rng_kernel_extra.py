@@ -1,0 +1,108 @@
+"""Extra kernel coverage: RNG forking, run limits, event edge cases."""
+
+import pytest
+
+from repro.sim import Event, SimError, Simulator
+from repro.sim.rng import RngStreams
+
+
+def test_rng_fork_independent_of_parent():
+    parent = RngStreams(7)
+    child_a = parent.fork("worker")
+    child_b = RngStreams(7).fork("worker")
+    assert child_a.seed == child_b.seed  # forks are deterministic
+    assert child_a.seed != parent.seed
+    xs = [child_a.stream("s").random() for _ in range(3)]
+    ys = [child_b.stream("s").random() for _ in range(3)]
+    assert xs == ys
+
+
+def test_rng_stream_cached_not_reset():
+    rngs = RngStreams(1)
+    s = rngs.stream("x")
+    first = s.random()
+    # asking again returns the SAME advancing stream
+    assert rngs.stream("x") is s
+    assert s.random() != first or True  # just must not restart
+    fresh = RngStreams(1).stream("x")
+    assert fresh.random() == first
+
+
+def test_run_max_events_stops_early():
+    sim = Simulator()
+    hits = []
+    for i in range(10):
+        sim.schedule(i, hits.append, i)
+    sim.run(max_events=3)
+    assert hits == [0, 1, 2]
+    sim.run()
+    assert hits == list(range(10))
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = Event(sim)
+    with pytest.raises(SimError):
+        _ = ev.value
+
+
+def test_event_value_after_fail_reraises():
+    sim = Simulator()
+    ev = Event(sim)
+
+    def waiter():
+        try:
+            yield ev
+        except KeyError:
+            return "saw it"
+
+    proc = sim.spawn(waiter())
+    ev.fail(KeyError("k"))
+    sim.run()
+    assert proc.result == "saw it"
+    with pytest.raises(KeyError):
+        _ = ev.value
+
+
+def test_run_process_stops_at_completion_not_heap_drain():
+    """run_process must return when ITS process ends, even with eternal
+    background processes keeping the heap busy (regression: pario setup)."""
+    sim = Simulator()
+    ticks = []
+
+    def eternal():
+        while True:
+            yield sim.timeout(10)
+            ticks.append(sim.now)
+
+    sim.spawn(eternal())
+
+    def quick():
+        yield sim.timeout(35)
+        return "done"
+
+    assert sim.run_process(quick()) == "done"
+    assert sim.now <= 45  # did not run the eternal process for long
+
+
+def test_schedule_handle_cancel():
+    sim = Simulator()
+    hits = []
+    handle = sim.schedule(10, hits.append, "x")
+    handle.cancel()
+    sim.schedule(20, hits.append, "y")
+    sim.run()
+    assert hits == ["y"]
+
+
+def test_process_repr_and_count():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1)
+
+    p = sim.spawn(body(), name="worker")
+    assert "worker" in repr(p) and "active" in repr(p)
+    sim.run()
+    assert "done" in repr(p)
+    assert sim.process_count() == 1
