@@ -19,6 +19,7 @@ EXPERIMENTS.md for paper-vs-measured results.
 """
 
 from .cluster import Cluster, ClusterConfig
+from .obs import TraceBus
 from .am import (
     Bundle,
     Endpoint,
@@ -37,6 +38,7 @@ __all__ = [
     "ClusterConfig",
     "Endpoint",
     "NameService",
+    "TraceBus",
     "VirtualNetwork",
     "build_parallel_vnet",
     "build_star_vnet",

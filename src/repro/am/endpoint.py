@@ -218,6 +218,10 @@ class Endpoint:
             self._credits[index] -= 1
             yield from self._enqueue(thr, msg)
             self.stats.requests_sent += 1
+            tr = self.node.sim.trace
+            if tr.enabled:
+                tr.emit("am.request", self.state.node, msg=msg.msg_id, ep=self.state.ep_id,
+                        index=index, nbytes=frag_bytes, bulk=is_bulk)
             if is_bulk:
                 self.stats.bulk_bytes_sent += frag_bytes
         return None
@@ -364,6 +368,10 @@ class Endpoint:
             self.stats.auto_replies += 1
         else:
             self.stats.replies_sent += 1
+        tr = self.node.sim.trace
+        if tr.enabled:
+            tr.emit("am.reply", self.state.node, msg=msg.msg_id, ep=self.state.ep_id,
+                    auto=auto, req=token.request_id)
         yield from thr.compute(self._send_overhead_ns())
         while not self.nic.host_enqueue_send(self.state, msg):
             # The send ring is a fixed 64 descriptors (Section 5.2): when
@@ -381,6 +389,10 @@ class Endpoint:
     def _handle_returned(self, msg: Message) -> None:
         """An undeliverable message came back (Section 3.2)."""
         self.stats.undeliverable += 1
+        tr = self.node.sim.trace
+        if tr.enabled:
+            tr.emit("am.undeliverable", self.state.node, msg=msg.msg_id,
+                    ep=self.state.ep_id, reason=getattr(msg.return_reason, "name", str(msg.return_reason)))
         if self.undeliverable_handler is not None:
             self.undeliverable_handler(msg, msg.return_reason)
 

@@ -27,10 +27,11 @@ from ..am.gam import GamCluster
 from ..am.vnet import build_parallel_vnet
 from ..cluster.builder import Cluster
 from ..cluster.config import ClusterConfig
+from ..obs import PhaseStats, phase_breakdown
 from ..sim.core import ms, us
 from .reporting import format_table
 
-__all__ = ["LogPResult", "measure_am", "measure_gam", "compare", "main"]
+__all__ = ["LogPResult", "measure_am", "measure_gam", "compare", "phase_table", "main"]
 
 PAPER_AM = dict(os_us=2.4, or_us=2.4, l_us=7.25, g_us=12.8)
 PAPER_GAM = dict(os_us=1.6, or_us=3.2, l_us=5.0, g_us=5.8)
@@ -44,6 +45,9 @@ class LogPResult:
     l_us: float
     g_us: float
     rtt_us: float
+    #: per-phase span attribution (send/wire/recv/ack/total), filled in
+    #: when the measurement ran with tracing enabled
+    phases: Optional[dict[str, PhaseStats]] = None
 
     @property
     def total_overhead_us(self) -> float:
@@ -129,8 +133,19 @@ def _measure(layer: str, send_ep, recv_ep, spawn_sender, spawn_receiver, sim, pi
     )
 
 
-def measure_am(cfg: Optional[ClusterConfig] = None, pingpongs: int = 200, flood_msgs: int = 2000) -> LogPResult:
-    """LogP parameters of AM over virtual networks (two dedicated nodes)."""
+def measure_am(
+    cfg: Optional[ClusterConfig] = None,
+    pingpongs: int = 200,
+    flood_msgs: int = 2000,
+    trace: bool = False,
+) -> LogPResult:
+    """LogP parameters of AM over virtual networks (two dedicated nodes).
+
+    With ``trace=True`` a :class:`~repro.obs.TraceBus` rides along
+    (observer-only: the measured numbers are bit-identical either way)
+    and the result's ``phases`` carries the span attribution of where
+    each microsecond went (see :func:`phase_table`).
+    """
     cluster = Cluster(cfg or ClusterConfig(num_hosts=4))
     sim = cluster.sim
     vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
@@ -140,6 +155,8 @@ def measure_am(cfg: Optional[ClusterConfig] = None, pingpongs: int = 200, flood_
     cluster.run_process(cluster.node(0).driver.write_fault(ep0.state), "w0")
     cluster.run_process(cluster.node(1).driver.write_fault(ep1.state), "w1")
     cluster.run(until=sim.now + ms(30))
+    # attach after warm-up so the spans reflect the steady state
+    bus = cluster.enable_tracing() if trace else None
 
     def handler(token):
         token.reply(None)
@@ -158,12 +175,15 @@ def measure_am(cfg: Optional[ClusterConfig] = None, pingpongs: int = 200, flood_
     }
     p0 = cluster.node(0).start_process("logp-send")
     p1 = cluster.node(1).start_process("logp-recv")
-    return _measure(
+    result = _measure(
         "AM", send_ep, recv_ep,
         lambda body: p0.spawn_thread(body, "sender"),
         lambda body: p1.spawn_thread(body, "receiver"),
         sim, pingpongs, flood_msgs,
     )
+    if bus is not None:
+        result.phases = phase_breakdown(bus)
+    return result
 
 
 def measure_gam(cfg: Optional[ClusterConfig] = None, pingpongs: int = 200, flood_msgs: int = 2000) -> LogPResult:
@@ -190,9 +210,35 @@ def measure_gam(cfg: Optional[ClusterConfig] = None, pingpongs: int = 200, flood
     )
 
 
+def phase_table(result: LogPResult) -> str:
+    """Per-phase cost table from the trace spans (Figure 3 companion)."""
+    if not result.phases:
+        return ""
+    legend = {
+        "send": "host enqueue -> wire (Os + NI send svc)",
+        "wire": "fabric transit (cut-through + stalls)",
+        "recv": "NI receive -> endpoint (incl. errcheck)",
+        "ack": "delivery -> sender retires channel",
+        "total": "enqueue -> positively acknowledged",
+    }
+    rows = [
+        [phase, legend[phase], st.count, st.mean_us, st.max_us]
+        for phase, st in result.phases.items()
+    ]
+    return format_table(
+        ["phase", "what", "msgs", "mean us", "max us"],
+        rows,
+        title=f"LogP span breakdown ({result.layer}): where the microseconds go",
+    )
+
+
 def compare(cfg: Optional[ClusterConfig] = None) -> tuple[LogPResult, LogPResult, str]:
-    """Run both layers and format the Figure 3 table."""
-    am = measure_am(cfg)
+    """Run both layers and format the Figure 3 table.
+
+    The AM run carries a trace bus (observer-only), so the report ends
+    with the per-phase cost table attributing Os/L/gap time to spans.
+    """
+    am = measure_am(cfg, trace=True)
     gam = measure_gam(cfg)
     rows = [
         ["Os (us)", gam.os_us, am.os_us, PAPER_GAM["os_us"], PAPER_AM["os_us"]],
@@ -212,7 +258,11 @@ def compare(cfg: Optional[ClusterConfig] = None) -> tuple[LogPResult, LogPResult
         f"\n RTT ratio AM/GAM      = {am.rtt_us / gam.rtt_us:.2f}  (paper: 1.23)"
         f"\n overhead ratio AM/GAM = {am.total_overhead_us / gam.total_overhead_us:.2f}  (paper: 1.00)"
     )
-    return am, gam, table + derived
+    report = table + derived
+    spans = phase_table(am)
+    if spans:
+        report += "\n\n" + spans
+    return am, gam, report
 
 
 def main() -> None:

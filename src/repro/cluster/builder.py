@@ -30,7 +30,7 @@ class Node:
         self.sim = sim
         self.cfg = cfg
         self.node_id = node_id
-        self.cpu = Cpu(sim, cfg.cpu_quantum_ns, cfg.context_switch_ns, name=f"cpu{node_id}")
+        self.cpu = Cpu(sim, cfg.cpu_quantum_ns, cfg.context_switch_ns, name=f"cpu{node_id}", node_id=node_id)
         self.nic = Nic(sim, cfg, node_id, network, rngs)
         self.driver = SegmentDriver(sim, cfg, self.nic, self.cpu, rngs)
         self.processes: list[UserProcess] = []
@@ -62,6 +62,16 @@ class Cluster:
 
     def node(self, i: int) -> Node:
         return self.nodes[i]
+
+    def enable_tracing(self, capacity: Optional[int] = None):
+        """Attach a :class:`repro.obs.TraceBus` to this cluster's simulator.
+
+        Observer-only: enabling tracing never changes simulated time or
+        event order.  Returns the bus (also reachable as ``cluster.sim.trace``).
+        """
+        from ..obs import TraceBus
+
+        return TraceBus.attach(self.sim, capacity=capacity)
 
     def run(self, until: Optional[int] = None) -> int:
         return self.sim.run(until=until)

@@ -40,9 +40,12 @@ class Cpu:
         context_switch_ns: int = 0,
         name: str = "cpu",
         max_slice_ns: int = 1_000_000,
+        node_id: int = -1,
     ):
         self.sim = sim
         self.name = name
+        #: owning host, for trace attribution (-1 when standalone)
+        self.node_id = node_id
         self.quantum_ns = int(quantum_ns)
         self.context_switch_ns = int(context_switch_ns)
         #: preemption granularity: a running slice is at most this long

@@ -26,10 +26,15 @@ class FaultInjector:
     def __init__(self, sim: Simulator, network: "Network"):
         self.sim = sim
         self.network = network
+        #: back-compat mirror of the fault timeline; the authoritative
+        #: record is the ``fault.inject`` events on ``sim.trace``, where
+        #: faults interleave with transport events in one timeline
         self.log: list[tuple[int, str]] = []
 
-    def _note(self, what: str) -> None:
+    def _note(self, what: str, **args) -> None:
         self.log.append((self.sim.now, what))
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("fault.inject", args.pop("node", -1), what=what, **args)
 
     # ---------------------------------------------------------- probability
     def set_loss(self, prob: float) -> None:
@@ -37,13 +42,13 @@ class FaultInjector:
         if not (0.0 <= prob <= 1.0):
             raise ValueError("loss probability out of range")
         self.network.cfg.packet_loss_prob = prob
-        self._note(f"loss={prob}")
+        self._note(f"loss={prob}", action="set_loss", prob=prob)
 
     def set_corruption(self, prob: float) -> None:
         if not (0.0 <= prob <= 1.0):
             raise ValueError("corruption probability out of range")
         self.network.cfg.packet_corrupt_prob = prob
-        self._note(f"corrupt={prob}")
+        self._note(f"corrupt={prob}", action="set_corruption", prob=prob)
 
     # ------------------------------------------------------------- hot-swap
     def set_spine(self, spine: int, up: bool) -> None:
@@ -54,14 +59,16 @@ class FaultInjector:
         for leaf in range(topo.num_leaves):
             topo.up_links[leaf][spine].up = up
             topo.down_links[spine][leaf].up = up
-        self._note(f"spine{spine} {'up' if up else 'down'}")
+        self._note(f"spine{spine} {'up' if up else 'down'}", action="hotswap_spine",
+                   spine=spine, up=up)
 
     def set_host_link(self, host: int, up: bool) -> None:
         """Disconnect/reconnect one host's cable."""
         topo = self.network.topology
         topo.host_up[host].up = up
         topo.host_down[host].up = up
-        self._note(f"hostlink{host} {'up' if up else 'down'}")
+        self._note(f"hostlink{host} {'up' if up else 'down'}", action="hostlink",
+                   node=host, up=up)
 
     def at(self, when_ns: int, fn, *args) -> None:
         """Schedule a fault action at an absolute simulation time."""
@@ -74,9 +81,9 @@ class FaultInjector:
     def crash_node(self, nic_id: int) -> None:
         """Node stops: its NIC neither receives nor acknowledges."""
         self.network.set_nic_dead(nic_id, True)
-        self._note(f"crash node{nic_id}")
+        self._note(f"crash node{nic_id}", action="crash", node=nic_id)
 
     def reboot_node(self, nic_id: int) -> None:
         """Node returns; transport channels must self-resynchronize."""
         self.network.set_nic_dead(nic_id, False)
-        self._note(f"reboot node{nic_id}")
+        self._note(f"reboot node{nic_id}", action="reboot", node=nic_id)

@@ -74,6 +74,9 @@ class Network:
         self.stats.sent += 1
         if self.cfg.packet_loss_prob and self.rng.random() < self.cfg.packet_loss_prob:
             self.stats.dropped_loss += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("net.drop", pkt.src_nic, msg=pkt.msg_id,
+                                    dst=pkt.dst_nic, reason="loss")
             return
         if self.cfg.packet_corrupt_prob and self.rng.random() < self.cfg.packet_corrupt_prob:
             pkt.corrupted = True
@@ -89,6 +92,9 @@ class Network:
         """
         if pkt.dst_nic in self._dead_nics:
             self.stats.dropped_dead_nic += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("net.drop", pkt.dst_nic, msg=pkt.msg_id,
+                                    src=pkt.src_nic, reason="dead_nic")
             return None
         handler = self._rx_handlers.get(pkt.dst_nic)
         if handler is None:
@@ -96,6 +102,10 @@ class Network:
             return None
         self.stats.delivered += 1
         self.stats.bytes_delivered += pkt.payload_bytes
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("net.deliver", pkt.dst_nic, msg=pkt.msg_id,
+                                src=pkt.src_nic, pkt=pkt.kind.name,
+                                nbytes=pkt.payload_bytes)
         return handler(pkt)
 
     def _traverse(self, pkt: Packet):
@@ -121,6 +131,9 @@ class Network:
             for link in held:
                 link.release()
             self.stats.dropped_linkdown += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("net.drop", pkt.dst_nic, msg=pkt.msg_id,
+                                    src=pkt.src_nic, reason="linkdown")
 
         for i, link in enumerate(route):
             yield link.acquire()

@@ -356,6 +356,8 @@ class Nic:
     def _block_on_peer(self, ep: EndpointState, peer: int, front: bool = False) -> None:
         lst = self._blocked_on_peer.setdefault(peer, deque())
         if ep not in lst:
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("chan.stall", self.nic_id, ep=ep.ep_id, peer=peer)
             if front:
                 lst.appendleft(ep)
             else:
@@ -414,6 +416,17 @@ class Nic:
             msg.first_tx_ns = self.sim.now
         if retrans:
             self.stats.retransmissions += 1
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.emit(
+                "pkt.retransmit" if retrans else "pkt.tx",
+                self.nic_id,
+                msg=msg.msg_id,
+                peer=msg.dst_node,
+                ch=ch.index,
+                nbytes=msg.payload_bytes,
+                enq=msg.enqueued_ns if msg.enqueued_ns is not None else self.sim.now,
+            )
         piggyback = None
         if self.cfg.enable_piggyback_acks:
             rides = self._pending_acks.get(msg.dst_node)
@@ -493,11 +506,17 @@ class Nic:
             timeout += round(msg.payload_bytes * self.cfg.bulk_timeout_ns_per_byte)
         deadline = ch.arm(self.sim.now, timeout)
         heapq.heappush(self._timers, (deadline, next(self._tie), ch, ch.timer_gen))
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("timer.arm", self.nic_id, peer=ch.peer, ch=ch.index,
+                                deadline=deadline)
         self._work.set()
 
     def _arm_timer_backoff(self, ch: TxChannel, consecutive: int) -> None:
         deadline = ch.arm(self.sim.now, backoff_ns(self.cfg, consecutive, self.rng))
         heapq.heappush(self._timers, (deadline, next(self._tie), ch, ch.timer_gen))
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("timer.arm", self.nic_id, peer=ch.peer, ch=ch.index,
+                                deadline=deadline, backoff=consecutive)
         self._work.set()
 
     # ================================================================ timers
@@ -550,6 +569,9 @@ class Nic:
         """Retransmission deadline expired on a channel."""
         msg = ch.outstanding
         ch.disarm()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("timer.fire", self.nic_id, peer=ch.peer, ch=ch.index,
+                                msg=msg.msg_id if msg else None)
         if msg is None:
             return
         if self.sim.now - (msg.first_tx_ns or self.sim.now) >= self.cfg.dead_timeout_ns:
@@ -572,6 +594,9 @@ class Nic:
         msg.state = MessageState.UNBOUND
         msg.consecutive_retrans = 0
         self.stats.unbinds += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("chan.unbind", self.nic_id, msg=msg.msg_id,
+                                peer=ch.peer, ch=ch.index)
         self._unbound_by_id[msg.msg_id] = msg
         jitter = 0.5 + self.rng.random()
         deadline = self.sim.now + max(1_000, round(self.cfg.rebind_delay_us * 1_000 * jitter))
@@ -597,6 +622,9 @@ class Nic:
         self._unbound_by_id.pop(msg.msg_id, None)
         msg.state = MessageState.BOUND
         self.stats.rebinds += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("chan.rebind", self.nic_id, msg=msg.msg_id,
+                                peer=msg.dst_node, ch=ch.index)
         yield self.sim.timeout(self.meter.cost_ns("rebind", self.cfg.ni_send_instr))
         self._transmit(ch, msg, retrans=True)
 
@@ -610,6 +638,8 @@ class Nic:
         if pkt.corrupted:
             # CRC check fails; drop silently, sender's timer recovers it.
             self.stats.crc_drops += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("pkt.crc_drop", self.nic_id, msg=pkt.msg_id, peer=pkt.src_nic)
             yield self.sim.timeout(self.meter.cost_ns("crc_drop", cfg.ni_poll_ep_instr))
             return
         if pkt.kind is PacketType.DATA:
@@ -630,6 +660,9 @@ class Nic:
         yield self.sim.timeout(self.meter.cost_ns("errcheck", cfg.ni_errcheck_instr))
         self.stats.data_recv += 1
         self.stats.bytes_recv += pkt.payload_bytes
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("pkt.rx", self.nic_id, msg=pkt.msg_id, peer=pkt.src_nic,
+                                ch=pkt.channel, nbytes=pkt.payload_bytes)
 
         peer = self._rx_peers.get(pkt.src_nic)
         if peer is None:
@@ -725,6 +758,10 @@ class Nic:
         peer.record_delivery(pkt.msg_id)
         ep.stats.delivered_in += 1
         self.stats.deliveries += 1
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.emit("msg.deliver", self.nic_id, msg=pkt.msg_id, peer=pkt.src_nic,
+                    ep=ep.ep_id, nbytes=pkt.payload_bytes)
         yield from self._send_ack(pkt)
         if was_empty and "recv" in ep.event_mask:
             self._notify_driver("event", ep, detail="recv")
@@ -744,6 +781,8 @@ class Nic:
             )
             return
         self.stats.acks_sent += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("ack.tx", self.nic_id, msg=pkt.msg_id, peer=pkt.src_nic)
         self.network.send(
             Packet(
                 src_nic=self.nic_id,
@@ -765,6 +804,8 @@ class Nic:
         rides.remove(entry)
         channel, seq, epoch, msg_id, timestamp = entry
         self.stats.acks_sent += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("ack.tx", self.nic_id, msg=msg_id, peer=peer, flushed=True)
         self.network.send(
             Packet(
                 src_nic=self.nic_id,
@@ -781,6 +822,9 @@ class Nic:
     def _send_nack(self, pkt: Packet, reason: NackReason):
         yield self.sim.timeout(self.meter.cost_ns("nack_gen", self.cfg.ni_ack_gen_instr))
         self.stats.count_nack(reason)
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("nack.tx", self.nic_id, msg=pkt.msg_id,
+                                peer=pkt.src_nic, reason=reason.name)
         self.network.send(
             Packet(
                 src_nic=self.nic_id,
@@ -813,6 +857,8 @@ class Nic:
 
     def _resolve_ack_fields(self, peer: int, channel: int, epoch: int, msg_id: int, timestamp: int) -> None:
         self.stats.acks_recv += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("ack.rx", self.nic_id, msg=msg_id, peer=peer, ch=channel)
         if self.cfg.enable_rtt_estimation:
             self._rtt_sample(peer, timestamp)
         pseudo = Packet(src_nic=peer, dst_nic=self.nic_id, kind=PacketType.ACK,
@@ -838,6 +884,9 @@ class Nic:
         cfg = self.cfg
         yield self.sim.timeout(self.meter.cost_ns("nack_proc", cfg.ni_nack_proc_instr))
         self.stats.nacks_recv += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("nack.rx", self.nic_id, msg=pkt.msg_id, peer=pkt.src_nic,
+                                reason=pkt.nack_reason.name if pkt.nack_reason else None)
         ch = self._match_channel(pkt)
         if ch is None:
             return
@@ -881,6 +930,11 @@ class Nic:
     def _resolve_delivered(self, msg: Message) -> None:
         msg.state = MessageState.DELIVERED
         msg.delivered_ns = self.sim.now
+        tr = self.sim.trace
+        if tr.enabled and msg.enqueued_ns is not None:
+            tr.metrics.histogram("msg_rtt_ns", node=self.nic_id).observe(
+                self.sim.now - msg.enqueued_ns
+            )
         self._finish_inflight(msg)
         msg.resolve(True)
 
@@ -888,6 +942,10 @@ class Nic:
         msg.state = MessageState.RETURNED
         msg.return_reason = reason
         self.stats.returns += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("msg.return", self.nic_id, msg=msg.msg_id,
+                                peer=msg.dst_node,
+                                reason=getattr(reason, "name", str(reason)))
         self._finish_inflight(msg)
         ep = self.endpoints.get(msg.src_ep)
         if ep is not None and ep.residency is not Residency.FREED:
@@ -926,6 +984,8 @@ class Nic:
         cfg = self.cfg
         self.clock.observe(op.clock)
         self.stats.driver_ops += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("drv.op", self.nic_id, op=op.op, ep=op.ep.ep_id)
         yield self.sim.timeout(self.meter.cost_ns("driver_op", cfg.ni_driver_op_instr))
         if op.op == "alloc":
             self.endpoints[op.ep.ep_id] = op.ep
@@ -952,7 +1012,11 @@ class Nic:
             op.done.fail(RuntimeError(f"frame {frame} not free for load"))
             return
         self.frames[frame] = ep  # reserve before the DMA
+        load_start = self.sim.now
         yield from self.sbus.transfer(self.cfg.frame_bytes, SbusDma.READ)
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("ep.load", self.nic_id, ep=ep.ep_id, frame=frame,
+                                dur_ns=self.sim.now - load_start)
         ep.frame = frame
         ep.residency = Residency.ONNIC_RW
         ep.mr_requested = False
@@ -975,7 +1039,11 @@ class Nic:
         self._pending_unloads = still
 
     def _do_unload(self, ep: EndpointState, op: DriverOp):
+        unload_start = self.sim.now
         yield from self.sbus.transfer(self.cfg.frame_bytes, SbusDma.WRITE)
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("ep.unload", self.nic_id, ep=ep.ep_id, frame=ep.frame,
+                                dur_ns=self.sim.now - unload_start)
         if ep.frame is not None and self.frames[ep.frame] is ep:
             self.frames[ep.frame] = None
         ep.frame = None

@@ -1,0 +1,98 @@
+"""LogP phase attribution from trace spans (Figure 3 companion).
+
+The LogP harness measures *totals* (Os, Or, L, g) from the outside; this
+module answers "where did the microseconds go" by stitching each small
+message's trace events into a span and attributing the elapsed time to
+four phases:
+
+* **send** — sender enqueues the descriptor until the packet's first
+  transmission leaves the NI (host Os + ring wait + NI send service);
+* **wire** — first transmission until the fabric delivers the tail to
+  the destination NI (L's wire component, including any link stalls);
+* **recv** — wire delivery until the message is written into the
+  destination endpoint (NI receive service, defensive error checking,
+  delivery);
+* **ack** — endpoint delivery until the sender processes the positive
+  acknowledgment and retires the channel (the hidden half of the gap).
+
+Only messages whose whole event chain was captured are attributed, so a
+bus attached mid-run simply skips the partially-observed prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bus import TraceBus
+
+__all__ = ["PhaseStats", "phase_breakdown", "breakdown_rows"]
+
+PHASES = ("send", "wire", "recv", "ack", "total")
+
+
+@dataclass
+class PhaseStats:
+    count: int = 0
+    total_ns: int = 0
+    max_ns: int = 0
+
+    def add(self, ns: int) -> None:
+        self.count += 1
+        self.total_ns += ns
+        if ns > self.max_ns:
+            self.max_ns = ns
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_ns / self.count / 1_000.0 if self.count else 0.0
+
+    @property
+    def max_us(self) -> float:
+        return self.max_ns / 1_000.0
+
+
+def phase_breakdown(bus: TraceBus) -> dict[str, PhaseStats]:
+    """Attribute per-message time to phases; keyed by phase name."""
+    # First relevant event per msg_id per stage (retransmissions of the
+    # same message keep the first tx; duplicate deliveries cannot happen).
+    first_tx: dict[int, tuple[int, int]] = {}  # msg -> (ts, enqueue_ts)
+    wire_at: dict[int, int] = {}
+    deliver_at: dict[int, int] = {}
+    acked_at: dict[int, int] = {}
+    for ev in bus.events:
+        kind = ev.kind
+        if kind == "pkt.tx":
+            msg = ev.get("msg")
+            if msg is not None and msg not in first_tx:
+                first_tx[msg] = (ev.ts, ev.get("enq", ev.ts))
+        elif kind == "net.deliver":
+            msg = ev.get("msg")
+            if msg is not None and msg not in wire_at:
+                wire_at[msg] = ev.ts
+        elif kind == "msg.deliver":
+            msg = ev.get("msg")
+            if msg is not None and msg not in deliver_at:
+                deliver_at[msg] = ev.ts
+        elif kind == "ack.rx":
+            msg = ev.get("msg")
+            if msg is not None and msg not in acked_at:
+                acked_at[msg] = ev.ts
+    stats = {phase: PhaseStats() for phase in PHASES}
+    for msg, (tx_ts, enq_ts) in first_tx.items():
+        w, d, a = wire_at.get(msg), deliver_at.get(msg), acked_at.get(msg)
+        if w is None or d is None or a is None:
+            continue  # chain incomplete (still in flight, or returned)
+        stats["send"].add(tx_ts - enq_ts)
+        stats["wire"].add(max(0, w - tx_ts))
+        stats["recv"].add(max(0, d - w))
+        stats["ack"].add(max(0, a - d))
+        stats["total"].add(a - enq_ts)
+    return stats
+
+
+def breakdown_rows(bus: TraceBus) -> list[list]:
+    """Table rows (phase, messages, mean us, max us) for reporting."""
+    rows = []
+    for phase, st in phase_breakdown(bus).items():
+        rows.append([phase, st.count, st.mean_us, st.max_us])
+    return rows

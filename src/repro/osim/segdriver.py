@@ -158,10 +158,14 @@ class SegmentDriver:
             return
         if ep.residency is Residency.ONDISK:
             self.stats.pageins += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("ep.pagein", self.nic.nic_id, ep=ep.ep_id)
             yield self.sim.timeout(us(self.cfg.disk_pagein_us))
             ep.residency = Residency.ONHOST_RO
         if ep.residency is Residency.ONHOST_RO:
             self.stats.write_faults += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("ep.writefault", self.nic.nic_id, ep=ep.ep_id)
             own = owner if owner is not None else object()
             yield from self.cpu.compute(us(self.cfg.host_fault_us), owner=own, priority=1)
             if owner is None:
@@ -177,6 +181,8 @@ class SegmentDriver:
         if ep.residency is Residency.ONHOST_RO:
             ep.residency = Residency.ONDISK
             self.stats.pageouts += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("ep.pageout", self.nic.nic_id, ep=ep.ep_id)
 
     def wait_resident(self, ep: EndpointState) -> Event:
         """Event triggered when ``ep`` reaches on-nic r/w."""
@@ -215,6 +221,7 @@ class SegmentDriver:
         """Bind an endpoint to an NI frame, evicting if necessary (§4.1)."""
         cfg = self.cfg
         ep.transition = True
+        remap_start = self.sim.now
         yield from self.cpu.compute(us(cfg.remap_driver_overhead_us / 2), owner=self._remap_owner, priority=1)
         # off-CPU synchronization latency of the re-mapping (§4.2)
         yield from self._kwait(self._remap_owner, self.sim.timeout(us(cfg.remap_sync_latency_us)))
@@ -228,6 +235,9 @@ class SegmentDriver:
                 return
             yield from self._unload(victim)
             self.stats.evictions += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("ep.evict", self.nic.nic_id, ep=victim.ep_id,
+                                    for_ep=ep.ep_id)
             # A victim with queued work will fault back in (thrash is the
             # workload's problem, not the policy's -- Section 6.4).
             if victim.send_ring or victim.mr_requested:
@@ -246,6 +256,9 @@ class SegmentDriver:
         self.stats.loads += 1
         self.stats.remaps += 1
         yield from self.cpu.compute(us(cfg.remap_driver_overhead_us / 2), owner=self._remap_owner, priority=1)
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("drv.remap", self.nic.nic_id, ep=ep.ep_id,
+                                dur_ns=self.sim.now - remap_start)
         for ev in self._resident_waiters.pop(ep.ep_id, []):
             ev.trigger(None)
 
@@ -287,6 +300,8 @@ class SegmentDriver:
                 # Simulate the effect of a page fault with no faulting
                 # instruction: a software-initiated fault (Section 4.2).
                 self.stats.proxy_faults += 1
+                if self.sim.trace.enabled:
+                    self.sim.trace.emit("drv.proxy_fault", self.nic.nic_id, ep=ep.ep_id)
                 yield from self.cpu.compute(us(cfg.proxy_fault_us), owner=self._proxy_owner, priority=1)
                 if ep.residency is Residency.ONHOST_RO:
                     ep.residency = Residency.ONHOST_RW

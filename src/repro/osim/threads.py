@@ -77,8 +77,13 @@ class Thread:
         :meth:`sleep`) so other runnable threads get the CPU immediately
         rather than at lease expiry.
         """
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.emit("thr.block", self.cpu.node_id, thread=self.name)
         self.cpu.release_lease(self)
         result = yield waitable
+        if tr.enabled:
+            tr.emit("thr.wake", self.cpu.node_id, thread=self.name)
         return result
 
     def sleep(self, ns: int) -> Generator:

@@ -8,6 +8,7 @@ from .core import (
     NS_PER_MS,
     NS_PER_S,
     NS_PER_US,
+    NULL_TRACE,
     Process,
     SimError,
     Simulator,
@@ -28,6 +29,7 @@ __all__ = [
     "NS_PER_MS",
     "NS_PER_S",
     "NS_PER_US",
+    "NULL_TRACE",
     "Process",
     "Resource",
     "RngStreams",

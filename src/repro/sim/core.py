@@ -32,6 +32,7 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
     "Simulator",
+    "NULL_TRACE",
     "Process",
     "Event",
     "Timeout",
@@ -65,6 +66,25 @@ def ms(x: float) -> int:
 def seconds(x: float) -> int:
     """Convert seconds to integer nanoseconds."""
     return round(x * NS_PER_S)
+
+
+class _NullTrace:
+    """Default trace sink: tracing off costs one attribute check.
+
+    :class:`repro.obs.bus.TraceBus` replaces this via ``TraceBus.attach``.
+    The kernel only knows the two-member protocol (``enabled``, ``emit``)
+    so :mod:`repro.sim` never imports :mod:`repro.obs`.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def emit(self, kind: str, node: int = -1, **args: Any) -> None:
+        pass
+
+
+#: shared nil sink installed on every new Simulator
+NULL_TRACE = _NullTrace()
 
 
 class SimError(Exception):
@@ -331,10 +351,14 @@ class Process:
 
     def _finish_ok(self, value: Any) -> None:
         self._finished = True
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("sim.exit", proc=self.name, ok=True)
         self.done.trigger(value)
 
     def _finish_fail(self, exc: BaseException) -> None:
         self._finished = True
+        if self.sim.trace.enabled:
+            self.sim.trace.emit("sim.exit", proc=self.name, ok=False)
         if self.done._waiters:
             self.done.fail(exc)
         else:
@@ -366,6 +390,8 @@ class Simulator:
         self._current: Optional[Process] = None
         self._crashed: Optional[tuple[Process, BaseException]] = None
         self._nprocesses = 0
+        #: observer-only trace sink (see repro.obs); nil by default
+        self.trace: Any = NULL_TRACE
 
     # -- low-level scheduling ----------------------------------------------
     def schedule(self, delay: int, fn: Callable, *args: Any) -> _Handle:
@@ -389,6 +415,8 @@ class Simulator:
         """Start a new process from a generator; it runs from the next tick."""
         proc = Process(self, gen, name=name)
         self._nprocesses += 1
+        if self.trace.enabled:
+            self.trace.emit("sim.spawn", proc=proc.name)
         self._post(proc._resume, None, None)
         return proc
 
