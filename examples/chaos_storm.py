@@ -1,0 +1,55 @@
+"""Chaos demo: a crash/reboot + kill storm audited by the invariant checker.
+
+A client/server virtual network (the Section 6.4 star) runs under a
+seeded storm: the transient faults — node crashes with reboots, a loss
+ramp — must be *masked* by the transport protocol, while the permanent
+fault (a client process killed mid-traffic) must surface as
+return-to-sender (Section 3.2).  Afterwards the trace-driven checker
+(:mod:`repro.chaos.invariants`) audits the whole timeline: every
+accepted message delivered exactly once or returned with a reason, and
+the cluster fully quiescent.
+
+The run is deterministic: same seed, same storm, bit-identical timeline
+(the digest printed at the end proves it — compare across runs).
+
+Run:  PYTHONPATH=src python examples/chaos_storm.py [seed]
+"""
+
+import sys
+
+from repro.chaos import ScheduleGenerator, run_chaos
+
+
+def main(seed: int = 1999) -> None:
+    gen = ScheduleGenerator(
+        seed,
+        num_hosts=8,
+        num_spines=2,
+        num_procs=4,   # 1 server + 3 clients
+        num_eps=4,
+        duration_ns=20_000_000,
+        profile="brutal",
+    )
+
+    for name in ("crash_storm", "kill_storm"):
+        scenario = gen.generate(name)
+        print(f"--- {scenario.describe()}")
+        for a in scenario.actions:
+            print(f"    t={a.at_ns / 1e6:6.2f}ms  {a.kind}{a.params}")
+        report = run_chaos(scenario, "client_server", num_hosts=8)
+        print(f"    {report.summary()}")
+        if report.goodput_outage_msg_s is not None:
+            print(f"    goodput: {report.goodput_clear_msg_s / 1e3:.1f} K msg/s clear, "
+                  f"{report.goodput_outage_msg_s / 1e3:.1f} K msg/s during outage")
+        print(f"    timeline digest: {report.digest[:32]}…")
+        if not report.ok:
+            for v in report.violations:
+                print(f"    VIOLATION: {v}")
+            raise SystemExit(1)
+
+    print("\nstorms weathered: transient faults masked, kills returned to "
+          "sender, every run quiescent — the delivery contract held.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1999)

@@ -1,0 +1,152 @@
+"""Chaos matrix runner + availability benchmark.
+
+Executes a seed × scenario × workload matrix of deterministic chaos runs
+(:func:`repro.chaos.run_chaos`), audits every run against the delivery
+contract, and reports the availability picture the paper's robustness
+story implies (Section 3.2 / 5.1): how much goodput survives *during* a
+crash outage, and how quickly traffic involving a rebooted node resumes.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.bench.chaos --smoke
+    PYTHONPATH=src python -m repro.bench.chaos --seeds 1 2 3 4 5 \\
+        --profile brutal --trace-dir /tmp/chaos-traces
+
+Exit status is non-zero if any run violated an invariant; with
+``--trace-dir`` each failing run's full timeline is exported there as
+Chrome ``trace_event`` JSON (load in ``chrome://tracing`` or Perfetto)
+so the failure can be inspected event by event — and, runs being
+bit-deterministic, replayed exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from ..chaos import SCENARIO_FAMILIES, ChaosReport, ScheduleGenerator, run_chaos
+from .reporting import print_table
+
+__all__ = ["run_matrix", "main"]
+
+#: (workload, kwargs) pairs exercised by the full matrix
+_WORKLOADS = ("pairwise", "bulk", "client_server")
+
+
+def run_matrix(
+    seeds: Sequence[int],
+    scenarios: Sequence[str] = SCENARIO_FAMILIES,
+    workloads: Sequence[str] = _WORKLOADS,
+    profile: str = "rough",
+    num_hosts: int = 8,
+    duration_ns: int = 20_000_000,
+    trace_dir: Optional[str] = None,
+) -> list[ChaosReport]:
+    """Run the full matrix; returns one report per (seed, scenario, workload)."""
+    reports: list[ChaosReport] = []
+    for seed in seeds:
+        gen = ScheduleGenerator(
+            seed,
+            num_hosts=num_hosts,
+            num_spines=max(1, num_hosts // 4),
+            num_procs=4,
+            num_eps=4,
+            duration_ns=duration_ns,
+            profile=profile,
+        )
+        for name in scenarios:
+            scenario = gen.generate(name)
+            for wl in workloads:
+                trace_path = None
+                if trace_dir:
+                    os.makedirs(trace_dir, exist_ok=True)
+                    trace_path = os.path.join(
+                        trace_dir, f"chaos-{name}-{wl}-s{seed}-{profile}.json")
+                reports.append(run_chaos(scenario, wl, num_hosts=num_hosts,
+                                         trace_path=trace_path))
+    return reports
+
+
+def _report_rows(reports: list[ChaosReport]) -> list[list]:
+    rows = []
+    for r in reports:
+        rows.append([
+            r.scenario, r.workload, r.seed,
+            r.accepted, r.delivered, r.returned, r.faults_injected,
+            f"{r.goodput_clear_msg_s / 1e3:.1f}",
+            (f"{r.goodput_outage_msg_s / 1e3:.1f}"
+             if r.goodput_outage_msg_s is not None else "-"),
+            (f"{r.recovery_ns / 1e6:.2f}" if r.recovery_ns is not None else "-"),
+            "ok" if r.ok else f"{len(r.violations)} VIOL",
+        ])
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3, 4, 5],
+                    help="schedule-generator seeds (one matrix slice per seed)")
+    ap.add_argument("--profile", choices=("mild", "rough", "brutal"),
+                    default="rough", help="fault intensity profile")
+    ap.add_argument("--scenarios", nargs="+", default=list(SCENARIO_FAMILIES),
+                    choices=SCENARIO_FAMILIES, metavar="SCENARIO",
+                    help="scenario families to run")
+    ap.add_argument("--workloads", nargs="+", default=list(_WORKLOADS),
+                    choices=_WORKLOADS, metavar="WORKLOAD")
+    ap.add_argument("--hosts", type=int, default=8)
+    ap.add_argument("--duration-ms", type=float, default=20.0,
+                    help="scenario length in simulated milliseconds")
+    ap.add_argument("--trace-dir", default=None,
+                    help="export Chrome trace JSON here for each failing run")
+    ap.add_argument("--smoke", action="store_true",
+                    help="small fixed matrix for CI: 2 seeds x 4 scenarios")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        args.seeds = [1, 2]
+        args.scenarios = ["loss_ramp", "crash_storm", "kill_storm", "mixed"]
+
+    reports = run_matrix(
+        args.seeds,
+        scenarios=args.scenarios,
+        workloads=args.workloads,
+        profile=args.profile,
+        num_hosts=args.hosts,
+        duration_ns=round(args.duration_ms * 1e6),
+        trace_dir=args.trace_dir,
+    )
+
+    print_table(
+        ["scenario", "workload", "seed", "accept", "deliver", "return",
+         "faults", "clear K/s", "outage K/s", "recov ms", "status"],
+        _report_rows(reports),
+        title=f"chaos matrix: profile={args.profile}, "
+              f"{len(reports)} runs, all invariants audited",
+    )
+
+    bad = [r for r in reports if not r.ok]
+    if bad:
+        print(f"{len(bad)} run(s) violated the delivery contract:", file=sys.stderr)
+        for r in bad:
+            print(f"  {r.summary()}", file=sys.stderr)
+            for v in r.violations[:8]:
+                print(f"    {v}", file=sys.stderr)
+        if args.trace_dir:
+            print(f"  Chrome traces exported under {args.trace_dir}", file=sys.stderr)
+        return 1
+    outages = [r for r in reports if r.goodput_outage_msg_s is not None]
+    if outages:
+        avg_out = sum(r.goodput_outage_msg_s for r in outages) / len(outages)
+        avg_clear = sum(r.goodput_clear_msg_s for r in outages) / len(outages)
+        recs = [r.recovery_ns for r in outages if r.recovery_ns is not None]
+        rec = f", worst recovery {max(recs) / 1e6:.2f} ms" if recs else ""
+        print(f"availability: goodput during outage {avg_out / 1e3:.1f} K msg/s "
+              f"vs {avg_clear / 1e3:.1f} K msg/s clear{rec}")
+    print(f"all {len(reports)} runs satisfied the delivery contract")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

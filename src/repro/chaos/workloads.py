@@ -1,0 +1,316 @@
+"""Fault-tolerant workload shapes for chaos runs.
+
+Each workload drives one of the repo's standard traffic patterns —
+pairwise request/reply (the quickstart shape), bulk transfer, and
+client/server over a star virtual network — but written to *survive the
+adversary*: senders never enter an unbounded credit spin against a dead
+peer, receivers drain and exit on a stop flag, and every thread treats
+:class:`~repro.am.errors.EndpointFreedError` (its process was killed) as
+a clean exit.  Termination is two-phase: a sender finishes its quota,
+then *settles* — polls until its transport state is idle (credits home,
+no in-flight messages, nothing pending) or a give-up deadline passes —
+so the run ends quiescent without ever hanging on a lost peer.
+
+A workload exposes uniform attack surfaces for the schedule resolver:
+``procs`` (kill/pause targets; index 0 is the server/observer side and
+is never killed by generated schedules) and ``eviction_targets``
+(endpoints for forced residency eviction).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..am.endpoint import Endpoint
+from ..am.errors import EndpointFreedError
+from ..am.vnet import build_parallel_vnet, build_star_vnet
+from ..osim.threads import Thread
+from ..sim.core import Event
+
+if TYPE_CHECKING:
+    from ..cluster.builder import Cluster, Node
+    from ..nic.endpoint_state import EndpointState
+    from ..osim.process import UserProcess
+
+__all__ = ["ChaosWorkload", "PairwiseWorkload", "BulkWorkload",
+           "ClientServerWorkload", "WORKLOADS", "make_workload"]
+
+#: poll backoff while idle (ns) — short enough to see stop flags promptly
+_IDLE_NS = 20_000
+
+
+class ChaosWorkload:
+    """Base: builds endpoints/processes, runs sender + receiver threads."""
+
+    name = "base"
+
+    def __init__(self, requests: int = 40, payload: int = 16):
+        self.requests = requests
+        self.payload = payload
+        self.procs: list["UserProcess"] = []
+        self.eviction_targets: list[tuple["Node", "EndpointState"]] = []
+        self.sender_threads: list[Thread] = []
+        self.receiver_threads: list[Thread] = []
+        self._stop = {"flag": False}
+        #: application-level receipt counts (handler invocations)
+        self.handled = 0
+        self.returned_seen = 0
+        self.sent = 0
+        self.give_up_ns = 0
+        self.cluster: Optional["Cluster"] = None
+        self._quota_event: Optional[Event] = None
+        self._quota_count = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def build(self, cluster: "Cluster") -> Generator:
+        """Allocate endpoints and processes (generator, run before faults)."""
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Spawn the traffic threads (call at scenario time zero)."""
+        raise NotImplementedError
+
+    def stop_receivers(self) -> None:
+        self._stop["flag"] = True
+
+    @property
+    def all_threads(self) -> list[Thread]:
+        return self.sender_threads + self.receiver_threads
+
+    # -- quota completion ---------------------------------------------------
+    # Senders signal when their send quota is finished (or their process
+    # died trying); afterwards they linger, draining stragglers, until the
+    # supervisor raises the stop flag.  The supervisor therefore waits on
+    # this event rather than on sender thread exit.
+    def quota_done(self) -> Event:
+        if self._quota_event is None:
+            self._quota_event = Event(self.cluster.sim, name="chaos.quota")
+        self._maybe_fire_quota()
+        return self._quota_event
+
+    def _mark_sender_done(self) -> None:
+        self._quota_count += 1
+        self._maybe_fire_quota()
+
+    def _maybe_fire_quota(self) -> None:
+        ev = self._quota_event
+        if ev is not None and not ev.triggered \
+                and self._quota_count >= len(self.sender_threads):
+            ev.trigger(None)
+
+    # -- shared thread bodies ----------------------------------------------
+    def _on_request(self, token, *args) -> None:
+        self.handled += 1
+
+    def _on_returned(self, msg, reason) -> None:
+        self.returned_seen += 1
+
+    def _guarded_request(self, thr: Thread, ep: Endpoint, index: int,
+                         nbytes: int = 0) -> Generator:
+        """Send one request without ever spinning unboundedly on credits.
+
+        Returns True if sent, False if the credit window never reopened
+        before the give-up deadline (peer dead and returns still in
+        flight) — the caller just moves on; the delivery contract is
+        audited from the trace, not from here.
+        """
+        cfg = ep.cfg
+        need = max(1, -(-nbytes // cfg.mtu_bytes)) if nbytes > cfg.small_payload_max_bytes else 1
+        deadline = ep.node.sim.now + self.give_up_ns
+        while ep.credits_available(index) < need:
+            processed = yield from ep.poll(thr, limit=8)
+            if processed == 0:
+                yield from thr.sleep(_IDLE_NS)
+            if ep.node.sim.now >= deadline:
+                return False
+        yield from ep.request(thr, index, self._on_request, nbytes=nbytes)
+        self.sent += 1
+        return True
+
+    def _settle(self, thr: Thread, ep: Endpoint, indices: list[int]) -> Generator:
+        """Poll until the endpoint's transport state is idle or give-up."""
+        cfg = ep.cfg
+        deadline = ep.node.sim.now + self.give_up_ns
+        while ep.node.sim.now < deadline:
+            idle = (ep.state.inflight == 0 and not ep.state.send_ring
+                    and not ep.has_pending()
+                    and all(ep.credits_available(i) >= cfg.user_credits for i in indices))
+            if idle:
+                return
+            processed = yield from ep.poll(thr, limit=8)
+            if processed == 0:
+                yield from thr.sleep(_IDLE_NS)
+
+    def _drain_loop(self, thr: Thread, ep: Endpoint) -> Generator:
+        """Poll until the stop flag is up and the endpoint is idle."""
+        while True:
+            processed = yield from ep.poll(thr, limit=16)
+            if self._stop["flag"] and not ep.has_pending() \
+                    and ep.state.inflight == 0 and not ep.state.send_ring:
+                return
+            if processed == 0:
+                yield from thr.sleep(_IDLE_NS)
+
+    def _sender_body(self, ep: Endpoint, index: int, count: int,
+                     nbytes: int) -> Generator:
+        def body(thr: Thread) -> Generator:
+            ep.undeliverable_handler = self._on_returned
+            try:
+                try:
+                    for _ in range(count):
+                        ok = yield from self._guarded_request(thr, ep, index, nbytes=nbytes)
+                        if not ok:
+                            # The credit window stayed shut for a whole
+                            # give-up period: the peer took our requests and
+                            # died before replying, so those credits are gone
+                            # for good.  Abandon the rest of the quota —
+                            # retrying would just wait give_up_ns per message.
+                            break
+                    yield from self._settle(thr, ep, [index])
+                except EndpointFreedError:
+                    return  # our process was killed mid-traffic: clean exit
+            finally:
+                self._mark_sender_done()
+            try:
+                # Linger: late returns/replies (a crashed peer rebooting
+                # after our settle deadline) must still be drained, or the
+                # run ends with undrained queues.
+                yield from self._drain_loop(thr, ep)
+            except EndpointFreedError:
+                return
+        return body
+
+    def _receiver_body(self, ep: Endpoint) -> Generator:
+        def body(thr: Thread) -> Generator:
+            ep.undeliverable_handler = self._on_returned
+            try:
+                yield from self._drain_loop(thr, ep)
+            except EndpointFreedError:
+                return
+        return body
+
+
+class PairwiseWorkload(ChaosWorkload):
+    """The quickstart shape: every rank requests from its right neighbour
+    over an all-pairs virtual network; each rank also serves."""
+
+    name = "pairwise"
+
+    def __init__(self, ranks: int = 4, requests: int = 40, payload: int = 16):
+        super().__init__(requests=requests, payload=payload)
+        self.ranks = ranks
+        self.vnet = None
+
+    def build(self, cluster: "Cluster") -> Generator:
+        self.cluster = cluster
+        self.vnet = yield from build_parallel_vnet(cluster, list(range(self.ranks)))
+        for rank in range(self.ranks):
+            ep = self.vnet[rank]
+            node = cluster.node(rank)
+            proc = node.start_process(name=f"pair{rank}")
+            proc.adopt_endpoint(ep.state)
+            self.procs.append(proc)
+            self.eviction_targets.append((node, ep.state))
+
+    def start(self) -> None:
+        for rank in range(self.ranks):
+            proc = self.procs[rank]
+            if proc.terminated:
+                continue
+            ep = self.vnet[rank]
+            peer = (rank + 1) % self.ranks
+            self.sender_threads.append(proc.spawn_thread(
+                self._sender_body(ep, peer, self.requests, self.payload),
+                name=f"pair{rank}.send"))
+            self.receiver_threads.append(proc.spawn_thread(
+                self._receiver_body(ep), name=f"pair{rank}.recv"))
+
+
+class BulkWorkload(ChaosWorkload):
+    """One node streams bulk transfers (fragmented at the MTU, staged over
+    the SBus DMA) to a sink — the shape whose mid-transfer state the
+    channel-reset guard protects."""
+
+    name = "bulk"
+
+    def __init__(self, transfers: int = 6, payload: int = 24_576):
+        super().__init__(requests=transfers, payload=payload)
+        self.vnet = None
+
+    def build(self, cluster: "Cluster") -> Generator:
+        self.cluster = cluster
+        self.vnet = yield from build_parallel_vnet(cluster, [0, 1])
+        for rank, role in ((0, "sink"), (1, "src")):
+            node = cluster.node(rank)
+            proc = node.start_process(name=f"bulk.{role}")
+            proc.adopt_endpoint(self.vnet[rank].state)
+            self.procs.append(proc)
+            self.eviction_targets.append((node, self.vnet[rank].state))
+
+    def start(self) -> None:
+        sink_proc, src_proc = self.procs
+        if not src_proc.terminated:
+            self.sender_threads.append(src_proc.spawn_thread(
+                self._sender_body(self.vnet[1], 0, self.requests, self.payload),
+                name="bulk.send"))
+        if not sink_proc.terminated:
+            self.receiver_threads.append(sink_proc.spawn_thread(
+                self._receiver_body(self.vnet[0]), name="bulk.recv"))
+
+
+class ClientServerWorkload(ChaosWorkload):
+    """Clients on distinct nodes share one server endpoint (the OneVN
+    star of Section 6.4); the server polls and auto-replies."""
+
+    name = "client_server"
+
+    def __init__(self, clients: int = 3, requests: int = 30, payload: int = 16):
+        super().__init__(requests=requests, payload=payload)
+        self.clients = clients
+        self.server_eps: list[Endpoint] = []
+        self.client_eps: list[Endpoint] = []
+
+    def build(self, cluster: "Cluster") -> Generator:
+        self.cluster = cluster
+        client_nodes = [1 + i for i in range(self.clients)]
+        servers, clients = yield from build_star_vnet(
+            cluster, 0, client_nodes, shared_server_ep=True)
+        self.server_eps, self.client_eps = servers, clients
+        sproc = cluster.node(0).start_process(name="server")
+        sproc.adopt_endpoint(servers[0].state)
+        self.procs.append(sproc)
+        self.eviction_targets.append((cluster.node(0), servers[0].state))
+        for i, cep in enumerate(clients):
+            node = cluster.node(client_nodes[i])
+            proc = node.start_process(name=f"client{i}")
+            proc.adopt_endpoint(cep.state)
+            self.procs.append(proc)
+            self.eviction_targets.append((node, cep.state))
+
+    def start(self) -> None:
+        sproc = self.procs[0]
+        if not sproc.terminated:
+            self.receiver_threads.append(sproc.spawn_thread(
+                self._receiver_body(self.server_eps[0]), name="server.poll"))
+        for i, cep in enumerate(self.client_eps):
+            proc = self.procs[1 + i]
+            if proc.terminated:
+                continue
+            self.sender_threads.append(proc.spawn_thread(
+                self._sender_body(cep, 0, self.requests, self.payload),
+                name=f"client{i}.send"))
+
+
+WORKLOADS = {
+    "pairwise": PairwiseWorkload,
+    "bulk": BulkWorkload,
+    "client_server": ClientServerWorkload,
+}
+
+
+def make_workload(name: str, **kwargs) -> ChaosWorkload:
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r} (choose from {sorted(WORKLOADS)})")
+    return cls(**kwargs)

@@ -195,6 +195,16 @@ class ClusterConfig:
     #: total time without any acknowledgment before a message is returned
     #: to its sender as undeliverable (Section 3.2); kept short so tests run
     dead_timeout_ms: float = 50.0
+    #: receiver-side duplicate-suppression depth per peer (Section 5.3's
+    #: copy accounting): how many recently delivered message ids each
+    #: :class:`~repro.nic.channels.RxPeerState` remembers.  A late copy of
+    #: a message evicted from this window would be *re-delivered*, so the
+    #: window must exceed the number of messages one peer can deliver
+    #: while another of its messages is still unresolved — bounded by
+    #: ``channels_per_pair`` outstanding plus the unbound population, far
+    #: below the 512 default (tests/test_dup_window.py demonstrates both
+    #: the overflow failure mode and the default's safety margin)
+    dup_window: int = 512
     #: receive-queue depth per endpoint => user-level credits (Section 6.4)
     recv_queue_depth: int = 32
     send_ring_depth: int = 64
@@ -311,6 +321,8 @@ class ClusterConfig:
             raise ValueError("packet_corrupt_prob must be a probability")
         if self.channels_per_pair < 1:
             raise ValueError("need at least one flow-control channel")
+        if self.dup_window < 1:
+            raise ValueError("duplicate-suppression window must be positive")
 
 
 DEFAULT_CONFIG = ClusterConfig()

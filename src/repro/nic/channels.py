@@ -115,10 +115,13 @@ class RxPeerState:
     once (Section 3.2).
     """
 
+    #: class-level default; per-instance depth comes from
+    #: ``ClusterConfig.dup_window`` (passed by the firmware)
     WINDOW = 512
 
-    def __init__(self, peer: int):
+    def __init__(self, peer: int, window: Optional[int] = None):
         self.peer = peer
+        self.window = self.WINDOW if window is None else window
         self.epoch = 0
         self._delivered: OrderedDict[int, None] = OrderedDict()
 
@@ -135,5 +138,5 @@ class RxPeerState:
 
     def record_delivery(self, msg_id: int) -> None:
         self._delivered[msg_id] = None
-        while len(self._delivered) > self.WINDOW:
+        while len(self._delivered) > self.window:
             self._delivered.popitem(last=False)

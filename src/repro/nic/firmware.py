@@ -666,7 +666,9 @@ class Nic:
 
         peer = self._rx_peers.get(pkt.src_nic)
         if peer is None:
-            peer = self._rx_peers[pkt.src_nic] = RxPeerState(pkt.src_nic)
+            peer = self._rx_peers[pkt.src_nic] = RxPeerState(
+                pkt.src_nic, window=cfg.dup_window
+            )
         peer.observe_epoch(pkt.epoch)
 
         ep = self.endpoints.get(pkt.dst_endpoint)
@@ -992,6 +994,15 @@ class Nic:
             op.done.trigger(None)
         elif op.op == "free":
             ep = op.ep
+            # Descriptors still in the send ring were accepted from the
+            # application but never bound to a channel; freeing the
+            # endpoint (process exit/kill, Section 4.2) must resolve them
+            # as returned-to-sender rather than leak them — the delivery
+            # contract says every accepted message ends DELIVERED or
+            # RETURNED (Section 3.2).  Bound/unbound messages were already
+            # drained by the quiesce that precedes the free.
+            while ep.send_ring:
+                self._resolve_returned(ep.send_ring.popleft(), "endpoint_freed")
             self.endpoints.pop(ep.ep_id, None)
             if ep.frame is not None and self.frames[ep.frame] is ep:
                 self.frames[ep.frame] = None

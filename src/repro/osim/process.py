@@ -53,3 +53,38 @@ class UserProcess:
         for ep in list(self.endpoints):
             yield from self.node.driver.free_endpoint(ep)
         self.endpoints.clear()
+
+    # ------------------------------------------------------------ fault hooks
+    def pause(self) -> None:
+        """Suspend every thread (a stalled process that stops polling)."""
+        for thr in self.threads:
+            if not thr.finished:
+                thr.pause()
+
+    def resume(self) -> None:
+        for thr in self.threads:
+            thr.resume()
+
+    def kill(self) -> None:
+        """Abrupt asynchronous termination (the chaos adversary's SIGKILL).
+
+        Unlike :meth:`terminate` this is not a generator: threads are
+        interrupted immediately and the endpoints are released through the
+        segment driver by a background reaper process — in-flight messages
+        from this process drain first (the free quiesces), and messages
+        still addressed to the vanished endpoints come back to their
+        senders as return-to-sender (Section 3.2), never hang.
+        """
+        if self.terminated:
+            return
+        self.terminated = True
+        for thr in self.threads:
+            if not thr.finished:
+                thr.interrupt("process killed")
+        eps, self.endpoints = list(self.endpoints), []
+
+        def reaper() -> Generator:
+            for ep in eps:
+                yield from self.node.driver.free_endpoint(ep)
+
+        self.node.sim.spawn(reaper(), name=f"{self.name}.reaper")

@@ -274,6 +274,32 @@ class SegmentDriver:
             return min(candidates, key=lambda c: c.last_active_ns)
         return self.rng.choice(candidates)
 
+    def force_evict(self, ep: EndpointState) -> bool:
+        """Forcibly unload a resident endpoint (chaos adversary: eviction
+        under synthetic frame pressure, Section 4.1's replacement path
+        without a competing endpoint).  Returns True if an unload started;
+        traffic arriving meanwhile draws NOT_RESIDENT NACKs and the NI's
+        make-resident request faults the endpoint back in.
+        """
+        if not ep.resident or ep.transition or ep.quiescing:
+            return False
+        if ep.residency is Residency.FREED:
+            return False
+
+        def evictor():
+            yield from self._unload(ep)
+            self.stats.evictions += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("ep.evict", self.nic.nic_id, ep=ep.ep_id,
+                                    forced=True)
+            # Queued work faults it straight back in, like an evicted
+            # victim with a non-empty ring (Section 6.4's thrash).
+            if ep.send_ring or ep.mr_requested:
+                self.request_remap(ep)
+
+        self.sim.spawn(evictor(), name=f"drv{self.nic.nic_id}.evict")
+        return True
+
     def _unload(self, ep: EndpointState):
         """Quiesce and unload an endpoint (the NI handles the draining)."""
         ep.transition = True

@@ -40,6 +40,10 @@ class Thread:
         self.name = name or f"thread{self.tid}"
         #: accumulated CPU time (filled in by the scheduler)
         self.cpu_ns = 0
+        #: set while the thread is suspended by a fault injector (chaos
+        #: testing): the thread parks at its next compute/block point and
+        #: stays off-CPU until :meth:`resume`
+        self._pause_ev: Optional[Event] = None
         self.proc = sim.spawn(self._run(body), name=self.name)
 
     def _run(self, body: Callable[["Thread"], Generator]) -> Generator:
@@ -66,8 +70,38 @@ class Thread:
     def result(self) -> Any:
         return self.proc.result
 
+    # ------------------------------------------------------------ suspension
+    @property
+    def paused(self) -> bool:
+        return self._pause_ev is not None
+
+    def pause(self) -> None:
+        """Suspend the thread at its next compute/block point (chaos fault:
+        a stalled receiver that stops polling, Section 3.2 pressure)."""
+        if self._pause_ev is None and not self.finished:
+            self._pause_ev = Event(self.sim, name=f"{self.name}.pause")
+
+    def resume(self) -> None:
+        """Release a paused thread; it re-contends for the CPU."""
+        ev, self._pause_ev = self._pause_ev, None
+        if ev is not None and not ev.triggered:
+            ev.trigger(None)
+
+    def _pause_gate(self) -> Generator:
+        """Park off-CPU while paused (re-checks: pause can nest/repeat)."""
+        while self._pause_ev is not None:
+            tr = self.sim.trace
+            if tr.enabled:
+                tr.emit("thr.block", self.cpu.node_id, thread=self.name, paused=True)
+            self.cpu.release_lease(self)
+            yield self._pause_ev
+            if tr.enabled:
+                tr.emit("thr.wake", self.cpu.node_id, thread=self.name, paused=True)
+
     def compute(self, ns: int) -> Generator:
         """Consume CPU time (sliced and preemptible by the quantum)."""
+        if self._pause_ev is not None:
+            yield from self._pause_gate()
         yield from self.cpu.compute(ns, owner=self)
 
     def block(self, waitable: Any) -> Generator:
@@ -82,6 +116,8 @@ class Thread:
             tr.emit("thr.block", self.cpu.node_id, thread=self.name)
         self.cpu.release_lease(self)
         result = yield waitable
+        if self._pause_ev is not None:
+            yield from self._pause_gate()
         if tr.enabled:
             tr.emit("thr.wake", self.cpu.node_id, thread=self.name)
         return result

@@ -18,7 +18,8 @@ def load(name):
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart", "client_server", "parallel_stencil", "hotswap_failover", "parallel_io"],
+    ["quickstart", "client_server", "parallel_stencil", "hotswap_failover", "parallel_io",
+     "chaos_storm"],
 )
 def test_example_imports(name):
     module = load(name)
@@ -31,3 +32,11 @@ def test_quickstart_runs(capsys):
     out = capsys.readouterr().out
     assert "greetings delivered: ['hello, virtual networks']" in out
     assert "on-nic r/w" in out  # residency transition happened
+
+
+def test_chaos_storm_runs(capsys):
+    module = load("chaos_storm")
+    module.main()  # raises SystemExit(1) if any invariant is violated
+    out = capsys.readouterr().out
+    assert "timeline digest:" in out
+    assert "the delivery contract held" in out
