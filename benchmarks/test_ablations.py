@@ -8,7 +8,7 @@ import pytest
 
 from repro.apps.clientserver import ContentionConfig, run_contention
 from repro.cluster import Cluster, ClusterConfig
-from repro.am import build_parallel_vnet
+from repro.api import Session
 from repro.sim import ms
 
 
@@ -46,11 +46,12 @@ def test_ablation_service_discipline(once, benchmark):
         cfg = ClusterConfig(num_hosts=4, wrr_max_msgs=wrr)
         cluster = Cluster(cfg)
         sim = cluster.sim
-        vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "s")
+        session = Session(nodes=[0, 1], cluster=cluster, name="s")
+        vnet = session.vnet
         # two endpoints on node 0 streaming to node 1
-        from repro.am import create_endpoint
+        from repro.am import new_endpoint
 
-        ep0b = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
+        ep0b = cluster.run_process(new_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
         ep0b.map(1, vnet[1].name, vnet[1].tag)
         eps = [vnet[0], ep0b]
         done = [0]
@@ -104,8 +105,8 @@ def test_ablation_channel_count(once, benchmark):
         cfg = ClusterConfig(num_hosts=4, channels_per_pair=channels)
         cluster = Cluster(cfg)
         sim = cluster.sim
-        vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "s")
-        ep0, ep1 = vnet[0], vnet[1]
+        session = Session(nodes=[0, 1], cluster=cluster, name="s")
+        ep0, ep1 = session.endpoints
         done = [0]
         done_at = {}
         WARM, TOTAL = 10, 60

@@ -9,8 +9,7 @@ the same machinery.
 Run:  python examples/client_server.py
 """
 
-from repro.am import build_star_vnet
-from repro.cluster import Cluster, ClusterConfig
+from repro.api import Session
 from repro.lib.rpc import RpcClient, RpcServer
 from repro.sim import ms
 
@@ -19,12 +18,14 @@ REQUESTS = 200
 
 
 def main() -> None:
-    cluster = Cluster(ClusterConfig(num_hosts=NCLIENTS + 1))
-    sim = cluster.sim
-    servers, clients = cluster.run_process(
-        build_star_vnet(cluster, 0, list(range(1, NCLIENTS + 1)), shared_server_ep=False),
-        "setup",
+    session = Session(
+        star=(0, list(range(1, NCLIENTS + 1))),
+        shared_server_ep=False,
+        num_hosts=NCLIENTS + 1,
     )
+    cluster = session.cluster
+    sim = session.sim
+    servers, clients = session.servers, session.clients
 
     served = [0] * NCLIENTS
     stop = {"flag": False}
@@ -84,6 +85,7 @@ def main() -> None:
 
     cluster.node(1).start_process("rpc").spawn_thread(rpc_client)
     cluster.run(until=sim.now + ms(100))
+    session.close()
 
 
 if __name__ == "__main__":

@@ -14,16 +14,15 @@ Two scenarios on one cluster:
 Run:  python examples/hotswap_failover.py
 """
 
-from repro.am import build_parallel_vnet
-from repro.cluster import Cluster, ClusterConfig
+from repro.api import Session
 from repro.sim import ms
 
 
 def main() -> None:
-    cluster = Cluster(ClusterConfig(num_hosts=12, dead_timeout_ms=20.0))
-    sim = cluster.sim
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 9, 10]), "setup")
-    ep0, ep_primary, ep_replica = vnet[0], vnet[1], vnet[2]
+    session = Session(nodes=[0, 9, 10], num_hosts=12, dead_timeout_ms=20.0)
+    cluster = session.cluster
+    sim = session.sim
+    ep0, ep_primary, ep_replica = session.endpoints
 
     received = {"primary": 0, "replica": 0}
     returned = []
@@ -89,6 +88,7 @@ def main() -> None:
     cluster.node(0).start_process().spawn_thread(failover_client)
     cluster.run(until=sim.now + ms(500))
     print(f"failover complete: replica handled {received['replica']}/10 re-issued requests")
+    session.close()  # frees live endpoints; the crashed node's are skipped
 
 
 if __name__ == "__main__":

@@ -8,18 +8,18 @@ Section 3.
 Run:  python examples/quickstart.py
 """
 
-from repro.am import build_parallel_vnet
-from repro.cluster import Cluster, ClusterConfig
+from repro.api import Session
 from repro.sim import ms
 
 
 def main() -> None:
-    cluster = Cluster(ClusterConfig(num_hosts=4))
-    sim = cluster.sim
+    # A session builds the cluster and a virtual network — endpoints that
+    # refer to one another (§3.1) — and frees the endpoints on exit.
+    session = Session(nodes=[0, 1], num_hosts=4)
+    cluster = session.cluster
+    sim = session.sim
 
-    # A virtual network: endpoints that refer to one another (§3.1).
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
-    ep0, ep1 = vnet[0], vnet[1]
+    ep0, ep1 = session.endpoints
     print(f"endpoint names: {ep0.name} (key {ep0.tag:#x}), {ep1.name}")
 
     greetings = []
@@ -62,6 +62,7 @@ def main() -> None:
     print(f"node0 endpoint is now {ep0.state.residency.value} "
           f"(paged onto the NI on first use, Figure 2)")
     print(f"re-mappings on node 0: {cluster.node(0).driver.stats.remaps}")
+    session.close()  # AM_Terminate analog: frees both endpoints
 
 
 if __name__ == "__main__":

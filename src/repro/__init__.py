@@ -8,11 +8,11 @@ driver (the four-state residency protocol), and the Active Messages II
 programming interface on top — plus the paper's workloads and a benchmark
 harness regenerating every figure.
 
-Entry points:
+Entry points — the stable facade is :mod:`repro.api`:
 
->>> from repro import Cluster, ClusterConfig, build_parallel_vnet
->>> cluster = Cluster(ClusterConfig(num_hosts=4))
->>> vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "up")
+>>> from repro.api import Session
+>>> with Session(nodes=[0, 1], num_hosts=4) as s:
+...     ep0, ep1 = s.endpoints
 
 See README.md for the full tour, DESIGN.md for the system inventory, and
 EXPERIMENTS.md for paper-vs-measured results.
@@ -28,6 +28,9 @@ from .am import (
     build_parallel_vnet,
     build_star_vnet,
     create_endpoint,
+    new_endpoint,
+    parallel_vnet,
+    star_vnet,
 )
 
 __version__ = "1.0.0"
@@ -40,6 +43,10 @@ __all__ = [
     "NameService",
     "TraceBus",
     "VirtualNetwork",
+    "new_endpoint",
+    "parallel_vnet",
+    "star_vnet",
+    # deprecated spellings (warning shims)
     "build_parallel_vnet",
     "build_star_vnet",
     "create_endpoint",

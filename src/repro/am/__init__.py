@@ -4,7 +4,15 @@ from .bundle import Bundle
 from .endpoint import AmStats, Endpoint, Token
 from .errors import AmError, BadTranslationError, EndpointFreedError
 from .names import NameService
-from .vnet import VirtualNetwork, build_parallel_vnet, build_star_vnet, create_endpoint
+from .vnet import (
+    VirtualNetwork,
+    build_parallel_vnet,
+    build_star_vnet,
+    create_endpoint,
+    new_endpoint,
+    parallel_vnet,
+    star_vnet,
+)
 
 __all__ = [
     "AmError",
@@ -16,6 +24,10 @@ __all__ = [
     "NameService",
     "Token",
     "VirtualNetwork",
+    "new_endpoint",
+    "parallel_vnet",
+    "star_vnet",
+    # deprecated spellings (warning shims)
     "build_parallel_vnet",
     "build_star_vnet",
     "create_endpoint",

@@ -8,6 +8,7 @@ support waiting for activity on *any* member endpoint.
 
 from __future__ import annotations
 
+import warnings
 from typing import Generator, Optional
 
 from ..osim.threads import CondVar, Thread
@@ -37,19 +38,39 @@ class Bundle:
     def __iter__(self):
         return iter(self.endpoints)
 
-    def poll_all(self, thr: Thread, limit_per_ep: int = 8) -> Generator:
+    def poll_all(self, thr: Thread, limit: int = 8, limit_per_ep: Optional[int] = None) -> Generator:
         """Poll every endpoint once, round-robin; returns total processed.
 
         Each poll touches the endpoint (uncacheable when resident), so a
         large bundle of resident endpoints is expensive to sweep — the
-        ST-96 effect of Section 6.4.
+        ST-96 effect of Section 6.4.  The sweep's touch costs are charged
+        as one lump-sum computation up front (one kernel event instead of
+        one per endpoint), then each endpoint is drained in rotation
+        order.
+
+        ``limit_per_ep`` is the deprecated spelling of ``limit``.
         """
-        total = 0
+        if limit_per_ep is not None:
+            warnings.warn(
+                "Bundle.poll_all(limit_per_ep=...) is deprecated; use limit=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            limit = limit_per_ep
         n = len(self.endpoints)
+        if n == 0:
+            return 0
+        touch = 0
+        for ep in self.endpoints:
+            ep._check_alive()
+            ep.stats.polls += 1
+            touch += ep._poll_touch_ns() + ep._lock_cost()
+        yield from thr.compute(touch)
+        total = 0
         for k in range(n):
             ep = self.endpoints[(self._next + k) % n]
-            total += yield from ep.poll(thr, limit=limit_per_ep)
-        self._next = (self._next + 1) % max(1, n)
+            total += yield from ep._drain(thr, limit)
+        self._next = (self._next + 1) % n
         return total
 
     def has_pending(self) -> bool:
@@ -69,8 +90,10 @@ class Bundle:
         while sim.now < spin_end:
             if self.has_pending():
                 return True
-            for ep in self.endpoints:
-                yield from thr.compute(ep._poll_touch_ns())
+            # Pending work is checked once per sweep, so charging the
+            # sweep as one computation is exactly equivalent to the
+            # per-endpoint charges it replaces.
+            yield from thr.compute(sum(ep._poll_touch_ns() for ep in self.endpoints))
         if self.has_pending():
             return True
         waits = []

@@ -289,9 +289,36 @@ class Endpoint:
         polling many resident endpoints in uncacheable NI memory is
         expensive (Section 6.4's ST-96 observation).
         """
-        self._check_alive()
+        # _check_alive/_poll_touch_ns/_lock_cost inlined: poll is the
+        # hottest endpoint entry point and the helpers cost more than the
+        # arithmetic (costs charged are identical)
+        st = self.state
+        cfg = self.cfg
+        residency = st.residency
+        if residency is Residency.FREED:
+            raise EndpointFreedError(f"endpoint {self.name} freed")
         self.stats.polls += 1
-        yield from thr.compute(self._poll_touch_ns() + self._lock_cost())
+        cost = (cfg.poll_resident_ns if residency is Residency.ONNIC_RW
+                else cfg.poll_host_ns)
+        if st.shared:
+            cost += cfg.shared_ep_lock_ns
+        t = thr._slice_begin(cost)
+        if t is not None:
+            yield t
+            thr._slice_end(cost)
+        else:
+            yield from thr.compute(cost)
+        if not (st.recv_requests or st.recv_replies or st.returned):
+            return 0  # empty poll (the common case): skip the drain machinery
+        return (yield from self._drain(thr, limit))
+
+    def _drain(self, thr: Thread, limit: int) -> Generator:
+        """Service up to ``limit`` pending messages; touch cost already paid.
+
+        Split from :meth:`poll` so :meth:`Bundle.poll_all` can charge one
+        lump-sum touch sweep for the whole bundle and then drain each
+        endpoint without re-touching it.
+        """
         processed = 0
         while processed < limit:
             msg = self.nic.host_poll_returned(self.state)

@@ -11,6 +11,7 @@ star pattern for client/server use.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
 from ..sim.rng import RngStreams
@@ -20,10 +21,19 @@ from .endpoint import Endpoint
 if TYPE_CHECKING:
     from ..cluster.builder import Cluster, Node
 
-__all__ = ["create_endpoint", "VirtualNetwork", "build_parallel_vnet", "build_star_vnet"]
+__all__ = [
+    "new_endpoint",
+    "parallel_vnet",
+    "star_vnet",
+    "VirtualNetwork",
+    # deprecated spellings, kept as warning shims
+    "create_endpoint",
+    "build_parallel_vnet",
+    "build_star_vnet",
+]
 
 
-def create_endpoint(node: "Node", tag: Optional[int] = None, rngs: Optional[RngStreams] = None) -> Generator:
+def new_endpoint(node: "Node", tag: Optional[int] = None, rngs: Optional[RngStreams] = None) -> Generator:
     """Allocate an endpoint on ``node`` (generator; returns Endpoint).
 
     A random 64-bit protection key is chosen when ``tag`` is None.
@@ -51,7 +61,7 @@ class VirtualNetwork:
         return Bundle(self.endpoints)
 
 
-def build_parallel_vnet(cluster: "Cluster", nodes: Sequence[int]) -> Generator:
+def parallel_vnet(cluster: "Cluster", nodes: Sequence[int]) -> Generator:
     """All-pairs virtual network over one endpoint per listed node.
 
     Translation index j on every endpoint names rank j's endpoint, so
@@ -60,7 +70,7 @@ def build_parallel_vnet(cluster: "Cluster", nodes: Sequence[int]) -> Generator:
     """
     endpoints: list[Endpoint] = []
     for rank, node_id in enumerate(nodes):
-        ep = yield from create_endpoint(cluster.node(node_id), rngs=cluster.rngs)
+        ep = yield from new_endpoint(cluster.node(node_id), rngs=cluster.rngs)
         endpoints.append(ep)
     for ep in endpoints:
         for rank, peer in enumerate(endpoints):
@@ -68,7 +78,7 @@ def build_parallel_vnet(cluster: "Cluster", nodes: Sequence[int]) -> Generator:
     return VirtualNetwork(endpoints)
 
 
-def build_star_vnet(cluster: "Cluster", server_node: int, client_nodes: Sequence[int], shared_server_ep: bool = True) -> Generator:
+def star_vnet(cluster: "Cluster", server_node: int, client_nodes: Sequence[int], shared_server_ep: bool = True) -> Generator:
     """Client/server virtual networks (the Section 6.4 workload shapes).
 
     With ``shared_server_ep`` (the OneVN configuration) every client maps
@@ -80,12 +90,12 @@ def build_star_vnet(cluster: "Cluster", server_node: int, client_nodes: Sequence
     clients: list[Endpoint] = []
     servers: list[Endpoint] = []
     if shared_server_ep:
-        sep = yield from create_endpoint(server, rngs=cluster.rngs)
+        sep = yield from new_endpoint(server, rngs=cluster.rngs)
         servers.append(sep)
     for i, cn in enumerate(client_nodes):
-        cep = yield from create_endpoint(cluster.node(cn), rngs=cluster.rngs)
+        cep = yield from new_endpoint(cluster.node(cn), rngs=cluster.rngs)
         if not shared_server_ep:
-            sep = yield from create_endpoint(server, rngs=cluster.rngs)
+            sep = yield from new_endpoint(server, rngs=cluster.rngs)
             servers.append(sep)
         else:
             sep = servers[0]
@@ -93,3 +103,32 @@ def build_star_vnet(cluster: "Cluster", server_node: int, client_nodes: Sequence
         sep.map(len(clients), cep.name, cep.tag)
         clients.append(cep)
     return servers, clients
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; use repro.api or repro.am.{new}()",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# The shims are plain functions (not generators) so the warning fires at
+# call time, before the first yield; they return the canonical generator,
+# so old and new call paths execute identically from the kernel's view.
+def create_endpoint(node: "Node", tag: Optional[int] = None, rngs: Optional[RngStreams] = None) -> Generator:
+    """Deprecated spelling of :func:`new_endpoint`."""
+    _deprecated("create_endpoint", "new_endpoint")
+    return new_endpoint(node, tag=tag, rngs=rngs)
+
+
+def build_parallel_vnet(cluster: "Cluster", nodes: Sequence[int]) -> Generator:
+    """Deprecated spelling of :func:`parallel_vnet`."""
+    _deprecated("build_parallel_vnet", "parallel_vnet")
+    return parallel_vnet(cluster, nodes)
+
+
+def build_star_vnet(cluster: "Cluster", server_node: int, client_nodes: Sequence[int], shared_server_ep: bool = True) -> Generator:
+    """Deprecated spelling of :func:`star_vnet`."""
+    _deprecated("build_star_vnet", "star_vnet")
+    return star_vnet(cluster, server_node, client_nodes, shared_server_ep=shared_server_ep)

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..am.bundle import Bundle
-from ..am.vnet import build_star_vnet
+from ..am.vnet import star_vnet
 from ..cluster.builder import Cluster
 from ..cluster.config import ClusterConfig
 from ..myrinet.packet import NackReason
@@ -73,6 +73,9 @@ class ContentionResult:
     overrun_nacks: int = 0
     not_resident_nacks: int = 0
     server_cpu_util: float = 0.0
+    #: kernel-level counters for the perf harness (repro.bench.perf)
+    sim_ns: int = 0
+    events_dispatched: int = 0
 
     @property
     def min_client_msgs_s(self) -> float:
@@ -83,17 +86,25 @@ class ContentionResult:
         return max(self.per_client_msgs_s) if self.per_client_msgs_s else 0.0
 
 
-def run_contention(ccfg: ContentionConfig) -> ContentionResult:
-    """Run one configuration and return throughput/robustness metrics."""
+def run_contention(ccfg: ContentionConfig, *, sim_factory=None) -> ContentionResult:
+    """Run one configuration and return throughput/robustness metrics.
+
+    ``sim_factory`` swaps the event kernel (see :mod:`repro.bench.perf`,
+    which replays the same configuration on the optimized and reference
+    kernels and requires identical results).
+    """
     if ccfg.mode not in CONFIG_NAMES:
         raise ValueError(f"unknown mode {ccfg.mode!r}")
-    cluster = Cluster(ccfg.cluster_config())
+    if sim_factory is None:
+        cluster = Cluster(ccfg.cluster_config())
+    else:
+        cluster = Cluster(ccfg.cluster_config(), sim_factory=sim_factory)
     sim = cluster.sim
     server_node = cluster.node(0)
     client_nodes = list(range(1, ccfg.nclients + 1))
     shared = ccfg.mode == "one_vn"
     servers, clients = cluster.run_process(
-        build_star_vnet(cluster, 0, client_nodes, shared_server_ep=shared), "setup"
+        star_vnet(cluster, 0, client_nodes, shared_server_ep=shared), "setup"
     )
     for sep in servers:
         sep.handler_cost_ns = ccfg.handler_ns
@@ -127,7 +138,7 @@ def run_contention(ccfg: ContentionConfig) -> ContentionResult:
 
         def st_body(thr):
             while not stop["flag"]:
-                n = yield from bundle.poll_all(thr, limit_per_ep=8)
+                n = yield from bundle.poll_all(thr, limit=8)
                 if n == 0:
                     yield from thr.compute(200)
 
@@ -171,4 +182,6 @@ def run_contention(ccfg: ContentionConfig) -> ContentionResult:
         nic.stats.nacks_sent.get(NackReason.NOT_RESIDENT, 0) - snap_notres
     )
     result.server_cpu_util = (server_node.cpu.busy_ns - snap_cpu) / (sim.now - t0)
+    result.sim_ns = sim.now
+    result.events_dispatched = sim.events_dispatched
     return result

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Generator, Optional, Sequence
 
 from ..am.endpoint import Endpoint
-from ..am.vnet import create_endpoint
+from ..am.vnet import new_endpoint
 from ..cluster.builder import Cluster, Node
 from ..osim.threads import Thread
 from ..sim.core import us
@@ -155,11 +155,11 @@ def build_pario(cluster: Cluster, client_node: int, server_nodes: Sequence[int],
     Returns (StripedFile, [StorageServer], stop_dict); each server's
     service loop is already running as an event-driven thread.
     """
-    client_ep = yield from create_endpoint(cluster.node(client_node), rngs=cluster.rngs)
+    client_ep = yield from new_endpoint(cluster.node(client_node), rngs=cluster.rngs)
     servers = []
     stop = {"flag": False}
     for i, node_id in enumerate(server_nodes):
-        ep = yield from create_endpoint(cluster.node(node_id), rngs=cluster.rngs)
+        ep = yield from new_endpoint(cluster.node(node_id), rngs=cluster.rngs)
         server = StorageServer(cluster.node(node_id), ep, disk=disk)
         servers.append(server)
         client_ep.map(i, ep.name, ep.tag)

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..am.gam import GamCluster
-from ..am.vnet import build_parallel_vnet
+from ..am.vnet import parallel_vnet
 from ..cluster.builder import Cluster
 from ..cluster.config import ClusterConfig
 from ..sim.core import ms
@@ -87,7 +87,7 @@ def measure_am_bandwidth(cfg: Optional[ClusterConfig] = None, sizes=None, count:
     for nbytes in sizes:
         cluster = Cluster(cfg or ClusterConfig(num_hosts=4))
         sim = cluster.sim
-        vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
+        vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "setup")
         ep0, ep1 = vnet[0], vnet[1]
         cluster.run_process(cluster.node(0).driver.write_fault(ep0.state), "w0")
         cluster.run_process(cluster.node(1).driver.write_fault(ep1.state), "w1")
@@ -132,7 +132,7 @@ def measure_am_rtt(cfg: Optional[ClusterConfig] = None, sizes=None, reps: int = 
     out = []
     cluster = Cluster(cfg or ClusterConfig(num_hosts=4))
     sim = cluster.sim
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
     cluster.run_process(cluster.node(0).driver.write_fault(ep0.state), "w0")
     cluster.run_process(cluster.node(1).driver.write_fault(ep1.state), "w1")

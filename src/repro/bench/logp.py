@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..am.gam import GamCluster
-from ..am.vnet import build_parallel_vnet
+from ..am.vnet import parallel_vnet
 from ..cluster.builder import Cluster
 from ..cluster.config import ClusterConfig
 from ..obs import PhaseStats, phase_breakdown
@@ -148,7 +148,7 @@ def measure_am(
     """
     cluster = Cluster(cfg or ClusterConfig(num_hosts=4))
     sim = cluster.sim
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
 
     # warm both endpoints onto their NIs so the measurement is steady-state

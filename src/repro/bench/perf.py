@@ -1,0 +1,355 @@
+"""Perf-regression harness for the event-kernel hot path.
+
+Runs three canonical scenarios —
+
+* **logp_pingpong**  — the Figure 3 request/reply cycle, back to back;
+* **fig6_contention** — the Section 6.4 client/server thrash (OneVN);
+* **chaos_smoke**    — one deterministic chaos run (mixed faults,
+  pairwise workload) with the delivery-contract audit on;
+
+— and measures, for each, the kernel event throughput (events/s via
+``Simulator.events_dispatched``), wall-clock time, and peak Python heap
+(``tracemalloc``, on a reduced-scale pass so tracing overhead does not
+pollute the throughput numbers).  Results land in ``BENCH_PERF.json``.
+
+Correctness is checked against :class:`repro.sim.ReferenceSimulator`,
+a kernel that keeps the pre-optimization generic scheduling paths (no
+entry pool, no timeout free-list, no typed resume dispatch).  Both
+kernels run the *same* library code, so under ``--reference`` each
+scenario is replayed on both and must produce
+
+* **bit-identical timeline digests** (SHA-256 over the normalized trace,
+  for the traced scenarios) and identical end-state counters, and
+* the **same number of dispatched kernel events** — the fast paths must
+  not add or remove events, only make each one cheaper.
+
+Because the event counts match, the optimized/reference events-per-sec
+ratio is a machine-independent speedup figure; ``--check`` fails (exit
+1) if that ratio has dropped more than 20% below the recorded baseline
+(the committed ``BENCH_PERF.json``), which is how CI catches hot-path
+regressions without trusting absolute wall-clock on shared runners.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.bench.perf                 # measure
+    PYTHONPATH=src python -m repro.bench.perf --reference     # + oracle
+    PYTHONPATH=src python -m repro.bench.perf --check         # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..am.vnet import parallel_vnet
+from ..apps.clientserver import ContentionConfig, run_contention
+from ..chaos import ScheduleGenerator, reset_global_ids, run_chaos, timeline_digest
+from ..cluster.builder import Cluster
+from ..cluster.config import ClusterConfig
+from ..sim import ReferenceSimulator, Simulator, ms
+from .reporting import print_table
+
+__all__ = ["SCENARIOS", "Scale", "run_scenario", "run_suite", "check_baseline", "main"]
+
+SCENARIOS = ("logp_pingpong", "fig6_contention", "chaos_smoke")
+
+#: drop tolerated by --check before the gate fails (the >20% rule)
+CHECK_TOLERANCE = 0.8
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Problem sizes for one harness pass."""
+
+    pingpong_rounds: int = 600
+    contention_warmup_ms: float = 40.0
+    contention_duration_ms: float = 60.0
+    chaos_duration_ns: int = 8_000_000
+
+    def shrunk(self) -> "Scale":
+        """A reduced-scale variant for the tracemalloc (peak-heap) pass."""
+        return Scale(
+            pingpong_rounds=max(50, self.pingpong_rounds // 5),
+            contention_warmup_ms=self.contention_warmup_ms / 2,
+            contention_duration_ms=max(10.0, self.contention_duration_ms / 3),
+            chaos_duration_ns=max(2_000_000, self.chaos_duration_ns // 3),
+        )
+
+
+QUICK = Scale(pingpong_rounds=200, contention_warmup_ms=20.0,
+              contention_duration_ms=25.0, chaos_duration_ns=4_000_000)
+
+
+# --------------------------------------------------------------- scenarios
+def _run_pingpong(sim_factory: Callable, scale: Scale, traced: bool) -> dict:
+    """N request/reply round trips between two endpoints (Figure 3 cycle)."""
+    reset_global_ids()
+    rounds = scale.pingpong_rounds
+    cluster = Cluster(ClusterConfig(num_hosts=4), sim_factory=sim_factory)
+    bus = cluster.enable_tracing() if traced else None
+    sim = cluster.sim
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "setup")
+    ep0, ep1 = vnet[0], vnet[1]
+    done: list[int] = []
+
+    def handler(token):
+        token.reply(None)
+
+    def receiver(thr):
+        while not done:
+            yield from ep1.poll(thr, limit=8)
+
+    def sender(thr):
+        for _ in range(rounds):
+            yield from ep0.request(thr, 1, handler, nbytes=16)
+            while True:
+                got = yield from ep0.poll(thr, limit=4)
+                if got:
+                    break
+        done.append(1)
+
+    cluster.node(1).start_process("r").spawn_thread(receiver)
+    cluster.node(0).start_process("s").spawn_thread(sender)
+    t0 = time.perf_counter()
+    sim.run(until=sim.now + ms(30_000), stop=lambda: bool(done))
+    wall = time.perf_counter() - t0
+    if not done:
+        raise RuntimeError("ping-pong did not complete inside the time budget")
+    digest = timeline_digest(bus.events) if traced else None
+    if bus is not None:
+        bus.detach()
+    return {
+        "wall_s": wall,
+        "events": sim.events_dispatched,
+        "sim_ns": sim.now,
+        "digest": digest,
+        # end-state that must be identical across kernels
+        "checks": {"rounds": rounds, "sim_ns": sim.now, "digest": digest},
+    }
+
+
+def _run_contention(sim_factory: Callable, scale: Scale, traced: bool) -> dict:
+    """Figure 6 OneVN contention: 4 clients thrash one shared endpoint."""
+    reset_global_ids()
+    ccfg = ContentionConfig(
+        nclients=4, mode="one_vn",
+        warmup_ms=scale.contention_warmup_ms,
+        duration_ms=scale.contention_duration_ms,
+    )
+    t0 = time.perf_counter()
+    res = run_contention(ccfg, sim_factory=sim_factory)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "events": res.events_dispatched,
+        "sim_ns": res.sim_ns,
+        "digest": None,
+        "checks": {
+            "sim_ns": res.sim_ns,
+            "aggregate_msgs_s": round(res.aggregate_msgs_s, 6),
+            "per_client_msgs_s": [round(x, 6) for x in res.per_client_msgs_s],
+            "remaps_per_s": round(res.remaps_per_s, 6),
+        },
+    }
+
+
+def _run_chaos_smoke(sim_factory: Callable, scale: Scale, traced: bool) -> dict:
+    """One audited chaos run (mixed faults, pairwise workload, 8 hosts)."""
+    gen = ScheduleGenerator(
+        1, num_hosts=8, num_spines=2, num_procs=4, num_eps=4,
+        duration_ns=scale.chaos_duration_ns, profile="rough",
+    )
+    scenario = gen.generate("mixed")
+    t0 = time.perf_counter()
+    report = run_chaos(scenario, "pairwise", num_hosts=8, keep=True,
+                       sim_factory=sim_factory)
+    wall = time.perf_counter() - t0
+    if not report.ok:
+        raise RuntimeError(
+            f"chaos smoke run violated the delivery contract: {report.violations}")
+    sim = report.cluster.sim  # type: ignore[attr-defined]
+    return {
+        "wall_s": wall,
+        "events": sim.events_dispatched,
+        "sim_ns": report.sim_ns,
+        "digest": report.digest,
+        "checks": {
+            "digest": report.digest,
+            "sim_ns": report.sim_ns,
+            "accepted": report.accepted,
+            "delivered": report.delivered,
+            "returned": report.returned,
+        },
+    }
+
+
+_RUNNERS = {
+    "logp_pingpong": _run_pingpong,
+    "fig6_contention": _run_contention,
+    "chaos_smoke": _run_chaos_smoke,
+}
+
+#: scenarios whose timeline digest is compared bit-for-bit across kernels
+TRACED = {"logp_pingpong": True, "fig6_contention": False, "chaos_smoke": True}
+
+
+def run_scenario(name: str, sim_factory: Callable = Simulator,
+                 scale: Scale = Scale(), traced: Optional[bool] = None) -> dict:
+    """Run one named scenario; returns wall/events/sim_ns/digest/checks."""
+    if traced is None:
+        traced = TRACED[name]
+    return _RUNNERS[name](sim_factory, scale, traced)
+
+
+# ------------------------------------------------------------------- suite
+def run_suite(reference: bool = False, quick: bool = False,
+              repeat: int = 1) -> dict:
+    """Measure every scenario; with ``reference``, also replay each on the
+    reference kernel and record digest equality + the speedup ratio."""
+    scale = QUICK if quick else Scale()
+    suite: dict = {"schema": 1, "quick": quick, "scenarios": {}}
+    for name in SCENARIOS:
+        if reference:
+            # equivalence pass first: traced where the scenario supports
+            # it, so the timeline digests can be compared bit for bit
+            opt = run_scenario(name, Simulator, scale, traced=TRACED[name])
+            ref = run_scenario(name, ReferenceSimulator, scale,
+                               traced=TRACED[name])
+            if opt["checks"] != ref["checks"]:
+                raise RuntimeError(
+                    f"{name}: optimized and reference kernels diverged:\n"
+                    f"  optimized: {opt['checks']}\n  reference: {ref['checks']}")
+            if opt["events"] != ref["events"]:
+                raise RuntimeError(
+                    f"{name}: kernels dispatched different event counts "
+                    f"({opt['events']} vs {ref['events']}) — a fast path "
+                    "added or removed events")
+
+        # speed passes, untraced (chaos is traced by construction — the
+        # audit is part of that scenario).  Optimized and reference runs
+        # are interleaved back to back so transient machine load hits
+        # both sides of the ratio equally; best wall per side is kept.
+        best = ref_best = None
+        for _ in range(max(1, repeat)):
+            r = run_scenario(name, Simulator, scale, traced=False)
+            if best is None or r["wall_s"] < best["wall_s"]:
+                best = r
+            if reference:
+                r2 = run_scenario(name, ReferenceSimulator, scale,
+                                  traced=False)
+                if ref_best is None or r2["wall_s"] < ref_best["wall_s"]:
+                    ref_best = r2
+        entry = {
+            "events": best["events"],
+            "sim_ns": best["sim_ns"],
+            "wall_s": round(best["wall_s"], 4),
+            "events_per_sec": round(best["events"] / best["wall_s"]),
+        }
+        if best["digest"]:
+            entry["digest"] = best["digest"]
+        if reference:
+            entry["digest_match"] = True
+            if opt["digest"]:
+                entry["digest"] = opt["digest"]
+            entry["reference_events_per_sec"] = round(
+                ref_best["events"] / ref_best["wall_s"])
+            entry["speedup_vs_reference"] = round(
+                entry["events_per_sec"] / entry["reference_events_per_sec"], 3)
+
+        # peak-heap pass at reduced scale, under tracemalloc
+        tracemalloc.start()
+        run_scenario(name, Simulator, scale.shrunk(), traced=False
+                     if name != "chaos_smoke" else True)
+        entry["peak_heap_bytes"] = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        suite["scenarios"][name] = entry
+    return suite
+
+
+def check_baseline(suite: dict, baseline: dict) -> list[str]:
+    """The >20%-regression rule: current speedup_vs_reference must stay
+    within CHECK_TOLERANCE of the committed baseline's.  Returns failures."""
+    failures = []
+    for name, base in baseline.get("scenarios", {}).items():
+        base_ratio = base.get("speedup_vs_reference")
+        if base_ratio is None:
+            continue
+        cur = suite["scenarios"].get(name, {}).get("speedup_vs_reference")
+        if cur is None:
+            failures.append(f"{name}: no speedup_vs_reference measured")
+        elif cur < CHECK_TOLERANCE * base_ratio:
+            failures.append(
+                f"{name}: speedup vs reference kernel fell to {cur:.2f}x "
+                f"(baseline {base_ratio:.2f}x, floor "
+                f"{CHECK_TOLERANCE * base_ratio:.2f}x)")
+    return failures
+
+
+# --------------------------------------------------------------------- CLI
+def _print_suite(suite: dict) -> None:
+    headers = ["scenario", "events", "events/s", "wall s", "peak heap",
+               "vs ref", "digest"]
+    rows = []
+    for name, e in suite["scenarios"].items():
+        rows.append([
+            name, e["events"], f"{e['events_per_sec']:,}",
+            f"{e['wall_s']:.3f}", f"{e['peak_heap_bytes'] / 1024:.0f} KiB",
+            (f"{e['speedup_vs_reference']:.2f}x"
+             if "speedup_vs_reference" in e else "-"),
+            ("match" if e.get("digest_match")
+             else (e.get("digest", "")[:12] or "-")),
+        ])
+    print_table(headers, rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--reference", action="store_true",
+                    help="replay each scenario on the reference kernel: "
+                         "assert identical digests/state, record speedup")
+    ap.add_argument("--check", action="store_true",
+                    help="fail if speedup_vs_reference regressed >20%% "
+                         "below the baseline JSON (implies --reference)")
+    ap.add_argument("--baseline", default="BENCH_PERF.json",
+                    help="baseline JSON for --check (default: committed "
+                         "BENCH_PERF.json)")
+    ap.add_argument("--out", default="BENCH_PERF.json",
+                    help="where to write results (default BENCH_PERF.json)")
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller problem sizes (CI smoke)")
+    ap.add_argument("--repeat", type=int, default=1,
+                    help="throughput passes per scenario; best wall kept")
+    args = ap.parse_args(argv)
+
+    reference = args.reference or args.check
+    suite = run_suite(reference=reference, quick=args.quick,
+                      repeat=args.repeat)
+    _print_suite(suite)
+
+    with open(args.out, "w") as f:
+        json.dump(suite, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except FileNotFoundError:
+            print(f"no baseline at {args.baseline}; nothing to check against")
+            return 0
+        failures = check_baseline(suite, baseline)
+        for msg in failures:
+            print(f"PERF REGRESSION: {msg}")
+        if failures:
+            return 1
+        print("perf check ok: all scenarios within 20% of baseline speedup")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

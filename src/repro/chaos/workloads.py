@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 from ..am.endpoint import Endpoint
 from ..am.errors import EndpointFreedError
-from ..am.vnet import build_parallel_vnet, build_star_vnet
+from ..am.vnet import parallel_vnet, star_vnet
 from ..osim.threads import Thread
 from ..sim.core import Event
 
@@ -203,7 +203,7 @@ class PairwiseWorkload(ChaosWorkload):
 
     def build(self, cluster: "Cluster") -> Generator:
         self.cluster = cluster
-        self.vnet = yield from build_parallel_vnet(cluster, list(range(self.ranks)))
+        self.vnet = yield from parallel_vnet(cluster, list(range(self.ranks)))
         for rank in range(self.ranks):
             ep = self.vnet[rank]
             node = cluster.node(rank)
@@ -239,7 +239,7 @@ class BulkWorkload(ChaosWorkload):
 
     def build(self, cluster: "Cluster") -> Generator:
         self.cluster = cluster
-        self.vnet = yield from build_parallel_vnet(cluster, [0, 1])
+        self.vnet = yield from parallel_vnet(cluster, [0, 1])
         for rank, role in ((0, "sink"), (1, "src")):
             node = cluster.node(rank)
             proc = node.start_process(name=f"bulk.{role}")
@@ -273,7 +273,7 @@ class ClientServerWorkload(ChaosWorkload):
     def build(self, cluster: "Cluster") -> Generator:
         self.cluster = cluster
         client_nodes = [1 + i for i in range(self.clients)]
-        servers, clients = yield from build_star_vnet(
+        servers, clients = yield from star_vnet(
             cluster, 0, client_nodes, shared_server_ep=True)
         self.server_eps, self.client_eps = servers, clients
         sproc = cluster.node(0).start_process(name="server")

@@ -47,14 +47,22 @@ class Node:
 class Cluster:
     """The full machine: nodes + fabric + faults, on one simulator."""
 
-    def __init__(self, cfg: Optional[ClusterConfig] = None, **overrides):
+    def __init__(
+        self,
+        cfg: Optional[ClusterConfig] = None,
+        sim_factory: Callable[[], Simulator] = Simulator,
+        **overrides,
+    ):
         if cfg is None:
             cfg = ClusterConfig()
         if overrides:
             cfg = cfg.with_(**overrides)
         cfg.validate()
         self.cfg = cfg
-        self.sim = Simulator()
+        #: ``sim_factory`` swaps the event kernel (e.g.
+        #: ``repro.sim.ReferenceSimulator`` as the ordering oracle in the
+        #: perf-regression harness); everything else is kernel-agnostic.
+        self.sim = sim_factory()
         self.rngs = RngStreams(cfg.seed)
         self.network = Network(self.sim, cfg, self.rngs)
         self.nodes = [Node(self.sim, cfg, i, self.network, self.rngs) for i in range(cfg.num_hosts)]

@@ -161,7 +161,12 @@ class Cpu:
         if owner is None:
             owner = object()  # anonymous: still serializes on the CPU
         while remaining > 0:
-            switch_ns = yield from self._acquire(owner, priority)
+            if self._holder is owner and self.sim.now < self._expiry:
+                # Holder retaining its lease: skip the _acquire generator
+                # (the dominant case for back-to-back computations).
+                switch_ns = 0
+            else:
+                switch_ns = yield from self._acquire(owner, priority)
             if switch_ns:
                 self._in_slice = True
                 yield self.sim.timeout(switch_ns)

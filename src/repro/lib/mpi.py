@@ -25,7 +25,7 @@ import math
 from typing import Any, Callable, Generator, Optional, Sequence
 
 from ..am.endpoint import Endpoint
-from ..am.vnet import build_parallel_vnet
+from ..am.vnet import parallel_vnet
 from ..cluster.builder import Cluster
 from ..osim.threads import Thread
 
@@ -280,7 +280,7 @@ def build_world(cluster: Cluster, nodes: Sequence[int]) -> Generator:
 
     Generator (run with ``cluster.run_process``); returns :class:`World`.
     """
-    vnet = yield from build_parallel_vnet(cluster, nodes)
+    vnet = yield from parallel_vnet(cluster, nodes)
     comms: list[Comm] = []
     world = World(cluster, nodes, comms)
     for rank, ep in enumerate(vnet.endpoints):

@@ -18,7 +18,7 @@ import math
 from typing import Any, Generator, Optional, Sequence
 
 from ..am.endpoint import Endpoint
-from ..am.vnet import build_parallel_vnet
+from ..am.vnet import parallel_vnet
 from ..cluster.builder import Cluster
 from ..osim.threads import Thread
 
@@ -147,7 +147,7 @@ class SplitCWorld:
 
 def build_splitc_world(cluster: Cluster, nodes: Sequence[int]) -> Generator:
     """All-pairs virtual network + one context per rank (generator)."""
-    vnet = yield from build_parallel_vnet(cluster, nodes)
+    vnet = yield from parallel_vnet(cluster, nodes)
     contexts: list[SplitCContext] = []
     world = SplitCWorld(cluster, nodes, contexts)
     for rank, ep in enumerate(vnet.endpoints):

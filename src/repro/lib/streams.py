@@ -18,7 +18,7 @@ from typing import Any, Deque, Generator, Optional
 
 from ..am.endpoint import Endpoint
 from ..am.names import NameService
-from ..am.vnet import create_endpoint
+from ..am.vnet import new_endpoint
 from ..cluster.builder import Cluster, Node
 from ..osim.threads import Thread
 
@@ -182,7 +182,7 @@ class Listener:
                 yield from self.endpoint.wait(thr, timeout_ns=2_000_000)
         conn_id, client_name, client_key = self._pending.popleft()
         # dedicated endpoint per accepted connection (its own virtual net)
-        ep = yield from create_endpoint(self.node, rngs=cluster.rngs)
+        ep = yield from new_endpoint(self.node, rngs=cluster.rngs)
         ep.map(0, client_name, client_key)
         sock = StreamSocket(ep, conn_id)
         # tell the client which endpoint to talk to, through a temporary
@@ -210,7 +210,7 @@ def _synack_handler(token, conn_id, server_ep_name, server_key):
 def stream_listen(cluster: Cluster, node_id: int, label: str, names: NameService) -> Generator:
     """Create a listener registered under ``label`` (generator)."""
     node = cluster.node(node_id)
-    ep = yield from create_endpoint(node, rngs=cluster.rngs)
+    ep = yield from new_endpoint(node, rngs=cluster.rngs)
     return Listener(node, ep, label, names)
 
 
@@ -221,7 +221,7 @@ def stream_connect(thr: Thread, cluster: Cluster, node_id: int, label: str, name
         raise ConnectionError(f"no listener registered as {label!r}")
     listener_name, listener_key = looked_up
     node = cluster.node(node_id)
-    ep = yield from create_endpoint(node, rngs=cluster.rngs)
+    ep = yield from new_endpoint(node, rngs=cluster.rngs)
     conn_id = next(_conn_ids)
     sock = StreamSocket(ep, conn_id)
     sock._established = False

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Generator, Optional, Sequence
 
 from ..am.endpoint import Endpoint
-from ..am.vnet import create_endpoint
+from ..am.vnet import new_endpoint
 from ..cluster.builder import Cluster, Node
 from ..osim.threads import CondVar, Thread
 
@@ -186,7 +186,7 @@ _VI_DIRECTORY: dict = {}
 
 def create_vi(node: Node, cq: CompletionQueue, cluster: Cluster) -> Generator:
     """Allocate a VI on ``node`` attached to ``cq`` (generator; returns Vi)."""
-    ep = yield from create_endpoint(node, rngs=cluster.rngs)
+    ep = yield from new_endpoint(node, rngs=cluster.rngs)
     vi = Vi(node, ep, cq)
     _VI_DIRECTORY[ep.name] = vi
     return vi

@@ -14,7 +14,8 @@ consumes CPU with ``yield from thr.compute(ns)`` and blocks with
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Generator, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Optional
 
 from ..hw.host import Cpu
 from ..sim.core import Event, Interrupted, SimError, Simulator
@@ -102,7 +103,48 @@ class Thread:
         """Consume CPU time (sliced and preemptible by the quantum)."""
         if self._pause_ev is not None:
             yield from self._pause_gate()
-        yield from self.cpu.compute(ns, owner=self)
+        if ns <= 0:
+            return
+        # Single-slice fast path: the lease holder consuming less than a
+        # slice needs none of Cpu.compute's acquire/loop machinery — the
+        # dominant case for per-poll touch costs.  Scheduling decisions
+        # still go through Cpu._should_yield/_handoff_next.
+        cpu = self.cpu
+        if cpu._holder is self and ns <= cpu.max_slice_ns and ns <= cpu._expiry - self.sim.now:
+            cpu._in_slice = True
+            yield self.sim.timeout(ns)
+            self._slice_end(ns)
+            return
+        yield from cpu.compute(ns, owner=self)
+
+    def _slice_begin(self, ns: int) -> Optional[Any]:
+        """Fast-path entry for single-yield computes on hot call sites.
+
+        When the caller can complete ``ns`` inside the current lease slice
+        (the dominant case for per-poll touch costs), returns the pooled
+        timeout to yield — the caller must call :meth:`_slice_end` right
+        after the yield.  Returns None when the full :meth:`compute` path
+        is required (paused, zero cost, not the leaseholder, slice split).
+        Semantically identical to ``yield from thr.compute(ns)``; it only
+        skips the generator frame.
+        """
+        cpu = self.cpu
+        if (self._pause_ev is not None or ns <= 0 or cpu._holder is not self
+                or ns > cpu.max_slice_ns or ns > cpu._expiry - self.sim.now):
+            return None
+        cpu._in_slice = True
+        return self.sim.timeout(ns)
+
+    def _slice_end(self, ns: int) -> None:
+        """Close out a fast-path slice: accounting + scheduling decision
+        (the inline equivalent of ``Cpu._should_yield(0)`` + handoff)."""
+        cpu = self.cpu
+        cpu._in_slice = False
+        cpu.busy_ns += ns
+        self.cpu_ns += ns
+        if cpu._hi_queue or (cpu._queue and self.sim.now >= cpu._expiry):
+            cpu._holder = None
+            cpu._handoff_next()
 
     def block(self, waitable: Any) -> Generator:
         """Wait off-CPU: release the scheduler lease, then wait.
@@ -140,7 +182,7 @@ class Mutex:
         self.sim = sim
         self.name = name
         self._owner: Optional[Thread] = None
-        self._waiters: list[tuple[Event, Thread]] = []
+        self._waiters: Deque[tuple[Event, Thread]] = deque()
 
     @property
     def locked(self) -> bool:
@@ -159,7 +201,7 @@ class Mutex:
         if self._owner is not thread:
             raise SimError(f"{thread} releasing {self.name} owned by {self._owner}")
         if self._waiters:
-            ev, nxt = self._waiters.pop(0)
+            ev, nxt = self._waiters.popleft()
             self._owner = nxt
             ev.trigger(None)
         else:
@@ -172,7 +214,7 @@ class CondVar:
     def __init__(self, sim: Simulator, name: str = "cv"):
         self.sim = sim
         self.name = name
-        self._waiters: list[Event] = []
+        self._waiters: Deque[Event] = deque()
 
     @property
     def waiting(self) -> int:
@@ -193,9 +235,11 @@ class CondVar:
 
     def signal(self, value: Any = None) -> None:
         if self._waiters:
-            self._waiters.pop(0).trigger(value)
+            self._waiters.popleft().trigger(value)
 
     def broadcast(self, value: Any = None) -> None:
-        waiters, self._waiters = self._waiters, []
+        if not self._waiters:
+            return
+        waiters, self._waiters = self._waiters, deque()
         for ev in waiters:
             ev.trigger(value)

@@ -17,7 +17,8 @@ from .core import (
     seconds,
     us,
 )
-from .resources import Gate, Resource, Store
+from .reference import ReferenceProcess, ReferenceSimulator
+from .resources import Gate, GateTimeout, Resource, Store
 from .rng import RngStreams
 
 __all__ = [
@@ -25,12 +26,15 @@ __all__ = [
     "AnyOf",
     "Event",
     "Gate",
+    "GateTimeout",
     "Interrupted",
     "NS_PER_MS",
     "NS_PER_S",
     "NS_PER_US",
     "NULL_TRACE",
     "Process",
+    "ReferenceProcess",
+    "ReferenceSimulator",
     "Resource",
     "RngStreams",
     "SimError",

@@ -22,6 +22,32 @@ A process advances by yielding *waitables*:
 
 Processes may be interrupted (:meth:`Process.interrupt`), which raises
 :class:`Interrupted` inside the generator at its current wait point.
+
+Hot-path design (see DESIGN.md "Kernel fast-path invariants"):
+
+The kernel's determinism contract is *ordering plus integer time* — never
+allocation identity.  That freedom is what the fast paths exploit:
+
+* heap entries are 5-slot lists ``[when, seq, args, fn, poolable]``; the
+  strictly-increasing ``seq`` guarantees comparisons never reach ``args``;
+* entries created internally (``_post``, the process timeout fast path)
+  are recycled through ``Simulator._entry_pool`` once dispatched, so
+  steady-state scheduling allocates nothing;
+* ``Simulator.timeout()`` hands out :class:`Timeout` objects from a
+  free list; the process wait fast path returns them the moment their
+  ``(delay, value)`` pair has been copied into a heap entry.  A pooled
+  timeout is therefore *single-use*: yield it once, then call
+  ``sim.timeout`` again (every call site in the tree does exactly this);
+* ``Process._resume`` dispatches on the yielded object's exact class:
+  ``Timeout`` and ``Event`` waits bypass ``_subscribe`` entirely — no
+  handle objects, no cancel closures — while any other waitable falls
+  back to the generic ``_subscribe`` protocol, so the extension point
+  is unchanged.
+
+Every fast path preserves the exact (when, seq)-relative ordering of the
+straight-line implementation (kept as :mod:`repro.sim.reference`);
+``benchmarks/test_perf_regression.py`` pins bit-identical timelines
+between the two kernels.
 """
 
 from __future__ import annotations
@@ -51,6 +77,12 @@ __all__ = [
 NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
 NS_PER_S = 1_000_000_000
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: shared args tuple for value-less resumes (the overwhelmingly common case)
+_NO_VALUE_ARGS: tuple = (None, None)
 
 
 def us(x: float) -> int:
@@ -91,7 +123,7 @@ class SimError(Exception):
     """Base class for simulation kernel errors."""
 
 
-class Interrupted(Exception):
+class Interrupted(SimError):
     """Raised inside a process that another process interrupted.
 
     The interrupt ``cause`` is available as ``exc.cause``.
@@ -150,9 +182,13 @@ class Event:
         return self
 
     def _flush(self) -> None:
-        waiters, self._waiters = self._waiters, []
-        for cb in waiters:
-            self.sim._post(cb, self._value, self._exc)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            post = self.sim._post
+            value, exc = self._value, self._exc
+            for cb in waiters:
+                post(cb, value, exc)
 
     # -- waitable protocol -------------------------------------------------
     def _subscribe(self, cb: Callable[[Any, Optional[BaseException]], None]) -> Callable[[], None]:
@@ -172,9 +208,15 @@ class Event:
 
 
 class Timeout:
-    """Waitable that fires ``delay`` nanoseconds after it is waited on."""
+    """Waitable that fires ``delay`` nanoseconds after it is waited on.
 
-    __slots__ = ("sim", "delay", "value")
+    Instances handed out by :meth:`Simulator.timeout` come from a free
+    list and are recycled the moment a process wait consumes them —
+    treat them as single-use (yield once, or hand to one combinator).
+    Directly constructed instances are never pooled.
+    """
+
+    __slots__ = ("sim", "delay", "value", "_pooled")
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
@@ -182,6 +224,7 @@ class Timeout:
         self.sim = sim
         self.delay = int(delay)
         self.value = value
+        self._pooled = False
 
     def _subscribe(self, cb: Callable[[Any, Optional[BaseException]], None]) -> Callable[[], None]:
         handle = self.sim.schedule(self.delay, cb, self.value, None)
@@ -190,6 +233,8 @@ class Timeout:
 
 class AnyOf:
     """Waitable combinator: fires with ``(index, value)`` of the first child."""
+
+    __slots__ = ("sim", "waitables")
 
     def __init__(self, sim: "Simulator", waitables: Iterable[Any]):
         self.sim = sim
@@ -228,6 +273,8 @@ class AnyOf:
 
 class AllOf:
     """Waitable combinator: fires with the list of all child values."""
+
+    __slots__ = ("sim", "waitables")
 
     def __init__(self, sim: "Simulator", waitables: Iterable[Any]):
         self.sim = sim
@@ -296,7 +343,8 @@ class Process:
         self.name = name or getattr(gen, "__name__", "process")
         self._gen = gen
         self.done = Event(sim, name=f"{self.name}.done")
-        self._cancel_wait: Optional[Callable[[], None]] = None
+        # None | heap entry (list) | Event | cancel callable — see interrupt()
+        self._cancel_wait: Any = None
         self._finished = False
 
     def __repr__(self) -> str:
@@ -315,8 +363,18 @@ class Process:
         """Raise :class:`Interrupted` inside the process at its wait point."""
         if self._finished:
             return
-        if self._cancel_wait is not None:
-            self._cancel_wait()
+        cw = self._cancel_wait
+        if cw is not None:
+            cls = cw.__class__
+            if cls is list:
+                cw[3] = None  # cancel the pending heap entry in place
+            elif cls is Event:
+                try:
+                    cw._waiters.remove(self._resume)
+                except ValueError:
+                    pass
+            else:
+                cw()
             self._cancel_wait = None
         self.sim._post(self._resume, None, Interrupted(cause))
 
@@ -325,7 +383,8 @@ class Process:
         if self._finished:
             return
         self._cancel_wait = None
-        self.sim._current = self
+        sim = self.sim
+        sim._current = self
         try:
             if exc is not None:
                 target = self._gen.throw(exc)
@@ -341,9 +400,39 @@ class Process:
             self._finish_fail(err)
             return
         finally:
-            self.sim._current = None
+            sim._current = None
+        # -- fast-path dispatch on the yielded waitable's exact class ------
+        cls = target.__class__
+        if cls is Timeout:
+            tvalue = target.value
+            args = _NO_VALUE_ARGS if tvalue is None else (tvalue, None)
+            pool = sim._entry_pool
+            if pool:
+                entry = pool.pop()
+                entry[0] = sim.now + target.delay
+                entry[1] = next(sim._seq)
+                entry[2] = args
+                entry[3] = self._resume
+            else:
+                entry = [sim.now + target.delay, next(sim._seq), args, self._resume, True]
+            _heappush(sim._heap, entry)
+            self._cancel_wait = entry
+            if target._pooled:
+                target._pooled = False
+                sim._timeout_pool.append(target)
+            return
+        if cls is Process:
+            target = target.done
+            cls = Event
+        if cls is Event:
+            if target._done:
+                sim._post(self._resume, target._value, target._exc)
+            else:
+                target._waiters.append(self._resume)
+                self._cancel_wait = target
+            return
         try:
-            waitable = _as_waitable(self.sim, target)
+            waitable = _as_waitable(sim, target)
         except SimError as err:
             self._finish_fail(err)
             return
@@ -390,6 +479,12 @@ class Simulator:
         self._current: Optional[Process] = None
         self._crashed: Optional[tuple[Process, BaseException]] = None
         self._nprocesses = 0
+        #: cumulative count of dispatched events (perf harness metric)
+        self.events_dispatched = 0
+        #: recycled heap entries (only internally created, handle-less ones)
+        self._entry_pool: list[list] = []
+        #: recycled Timeout objects handed out by :meth:`timeout`
+        self._timeout_pool: list[Timeout] = []
         #: observer-only trace sink (see repro.obs); nil by default
         self.trace: Any = NULL_TRACE
 
@@ -398,13 +493,26 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` ns. Returns a cancelable handle."""
         if delay < 0:
             raise SimError(f"cannot schedule in the past (delay={delay})")
-        entry = [self.now + int(delay), next(self._seq), args, fn]
-        heapq.heappush(self._heap, entry)
+        entry = [self.now + int(delay), next(self._seq), args, fn, False]
+        _heappush(self._heap, entry)
         return _Handle(entry)
 
     def _post(self, fn: Callable, *args: Any) -> None:
-        """Schedule at the current time (preserving FIFO order)."""
-        self.schedule(0, fn, *args)
+        """Schedule at the current time (preserving FIFO order).
+
+        Unlike :meth:`schedule` this returns no handle, so the entry is
+        recycled after dispatch.
+        """
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self.now
+            entry[1] = next(self._seq)
+            entry[2] = args
+            entry[3] = fn
+        else:
+            entry = [self.now, next(self._seq), args, fn, True]
+        _heappush(self._heap, entry)
 
     def _crash(self, proc: Process, exc: BaseException) -> None:
         if self._crashed is None:
@@ -424,7 +532,22 @@ class Simulator:
         return Event(self, name=name)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        """A single-use timeout from the free list (see :class:`Timeout`)."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimError(f"negative timeout: {delay}")
+            t = pool.pop()
+            t.delay = int(delay)
+            t.value = value
+            t._pooled = True
+            return t
+        t = Timeout(self, delay, value)
+        t._pooled = True
+        return t
+
+    #: alias: the zero-allocation sleep path is just a pooled timeout
+    sleep = timeout
 
     def any_of(self, waitables: Iterable[Any]) -> AnyOf:
         return AnyOf(self, waitables)
@@ -448,34 +571,47 @@ class Simulator:
         Returns the simulation time at exit.  Re-raises the first uncaught
         process exception.
         """
+        heap = self._heap
+        pop = _heappop
+        entry_pool = self._entry_pool
         count = 0
-        while self._heap:
+        try:
+            while heap:
+                if self._crashed is not None:
+                    proc, exc = self._crashed
+                    self._crashed = None
+                    raise SimError(f"uncaught exception in process {proc.name!r}") from exc
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return self.now
+                entry = pop(heap)
+                fn = entry[3]
+                if fn is None:  # canceled
+                    if entry[4]:
+                        entry[2] = None
+                        entry_pool.append(entry)
+                    continue
+                self.now = when
+                fn(*entry[2])
+                if entry[4]:
+                    entry[2] = None
+                    entry[3] = None
+                    entry_pool.append(entry)
+                count += 1
+                if stop is not None and stop():
+                    return self.now
+                if max_events is not None and count >= max_events:
+                    return self.now
             if self._crashed is not None:
                 proc, exc = self._crashed
                 self._crashed = None
                 raise SimError(f"uncaught exception in process {proc.name!r}") from exc
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            entry = heapq.heappop(self._heap)
-            fn = entry[3]
-            if fn is None:  # canceled
-                continue
-            self.now = when
-            fn(*entry[2])
-            count += 1
-            if stop is not None and stop():
-                return self.now
-            if max_events is not None and count >= max_events:
-                return self.now
-        if self._crashed is not None:
-            proc, exc = self._crashed
-            self._crashed = None
-            raise SimError(f"uncaught exception in process {proc.name!r}") from exc
-        if until is not None:
-            self.now = max(self.now, until)
-        return self.now
+            if until is not None:
+                self.now = max(self.now, until)
+            return self.now
+        finally:
+            self.events_dispatched += count
 
     def run_process(self, gen: Generator, name: str = "", until: Optional[int] = None) -> Any:
         """Spawn ``gen`` and run until *it* finishes; return its result.

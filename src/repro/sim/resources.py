@@ -9,11 +9,11 @@ from these.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Callable, Deque, Optional
 
 from .core import Event, SimError, Simulator
 
-__all__ = ["Resource", "Store", "Gate"]
+__all__ = ["Resource", "Store", "Gate", "GateTimeout"]
 
 
 class Resource:
@@ -114,6 +114,25 @@ class Store:
         self._items.append(item)
         return True
 
+    def offer(self, item: Any) -> Optional[Event]:
+        """Accept ``item`` without allocating when it fits (the hot case).
+
+        Returns ``None`` if the item was accepted immediately (direct
+        handoff to a getter, or appended to a non-full store) — exactly
+        the cases where :meth:`put` would have returned an
+        already-triggered event.  Returns the blocking put event when the
+        store is full, so callers can ``yield`` it for backpressure.
+        """
+        if self._getters:
+            self._getters.popleft().trigger(item)
+            return None
+        if not self.full:
+            self._items.append(item)
+            return None
+        ev = Event(self.sim, name=f"{self.name}.put")
+        self._putters.append((ev, item))
+        return ev
+
     def get(self) -> Event:
         ev = Event(self.sim, name=f"{self.name}.get")
         if self._items:
@@ -144,13 +163,20 @@ class Gate:
     While *set*, waits complete immediately; while *clear*, waiters queue
     until the next :meth:`set`.  Used for "work available" signalling where
     edge-triggered one-shot events would race.
+
+    A Gate is itself a waitable: ``yield gate`` is equivalent to
+    ``yield gate.wait()`` but skips the per-wait :class:`Event`
+    allocation, so hot service loops can park for free.  The waiter list
+    therefore holds a mix of Events (from :meth:`wait`) and raw callbacks
+    (from ``_subscribe``); :meth:`set`/:meth:`pulse` release both in
+    strict FIFO order.
     """
 
     def __init__(self, sim: Simulator, is_set: bool = False, name: str = ""):
         self.sim = sim
         self.name = name
         self._set = is_set
-        self._waiters: list[Event] = []
+        self._waiters: list[Any] = []  # Events and raw callbacks, FIFO
 
     @property
     def is_set(self) -> bool:
@@ -168,15 +194,82 @@ class Gate:
         if self._set:
             return
         self._set = True
-        waiters, self._waiters = self._waiters, []
-        for ev in waiters:
-            ev.trigger(None)
+        self._release()
 
     def clear(self) -> None:
         self._set = False
 
     def pulse(self) -> None:
         """Release current waiters without leaving the gate set."""
+        self._release()
+
+    def _release(self) -> None:
         waiters, self._waiters = self._waiters, []
-        for ev in waiters:
-            ev.trigger(None)
+        post = self.sim._post
+        for w in waiters:
+            if w.__class__ is Event:
+                w.trigger(None)
+            else:
+                post(w, None, None)
+
+    # -- waitable protocol -------------------------------------------------
+    def _subscribe(self, cb: Callable[[Any, Optional[BaseException]], None]) -> Callable[[], None]:
+        if self._set:
+            self.sim._post(cb, None, None)
+            return lambda: None
+        self._waiters.append(cb)
+
+        def cancel() -> None:
+            try:
+                self._waiters.remove(cb)
+            except ValueError:
+                pass
+
+        return cancel
+
+
+class GateTimeout:
+    """Waitable: a :class:`Gate` opening *or* a deadline, whichever first.
+
+    Equivalent to ``AnyOf(sim, [gate.wait(), sim.timeout(delay)])`` —
+    fires with ``(0, None)`` if the gate opens first and ``(1, None)``
+    if the deadline passes first, with the same same-nanosecond
+    tie-break (first posted wins, the loser is suppressed by the fired
+    guard) — but without allocating an Event, a Timeout, and a closure
+    per child.  Built for the firmware service loop's idle wait.
+    """
+
+    __slots__ = ("gate", "delay")
+
+    def __init__(self, gate: Gate, delay: int):
+        if delay < 0:
+            raise SimError(f"negative timeout: {delay}")
+        self.gate = gate
+        self.delay = delay
+
+    def _subscribe(self, cb: Callable[[Any, Optional[BaseException]], None]) -> Callable[[], None]:
+        fired = [False]
+
+        def on_gate(value: Any, exc: Optional[BaseException]) -> None:
+            if fired[0]:
+                return
+            fired[0] = True
+            handle.cancel()
+            cb((0, None), None)
+
+        def on_timer(value: Any, exc: Optional[BaseException]) -> None:
+            if fired[0]:
+                return
+            fired[0] = True
+            cancel_gate()
+            cb((1, None), None)
+
+        cancel_gate = self.gate._subscribe(on_gate)
+        handle = self.gate.sim.schedule(self.delay, on_timer, None, None)
+
+        def cancel_all() -> None:
+            fired[0] = True
+            cancel_gate()
+            handle.cancel()
+
+        return cancel_all

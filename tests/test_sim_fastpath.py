@@ -1,0 +1,246 @@
+"""Kernel hot-path invariants: pooling, typed dispatch, interruption.
+
+The optimized kernel recycles heap entries and Timeout objects so the
+steady-state sleep/timeout path allocates nothing.  The determinism
+contract is *ordering + integer time* — never allocation identity — so
+these tests pin down the places where reuse could leak into semantics:
+interrupt during a pooled sleep, combinators over pooled timeouts, and
+the reference kernel dispatching the exact same event sequence.
+"""
+
+import pytest
+
+from repro.sim import (AllOf, AnyOf, Interrupted, ReferenceSimulator, SimError,
+                       Simulator, Timeout)
+
+
+# ---------------------------------------------------------------- free lists
+def test_timeout_free_list_recycles_identity():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        t1 = sim.timeout(5)
+        seen.append(t1)
+        yield t1
+        # t1 was recycled the moment the wait consumed it: the next
+        # timeout from the pool is the same object, re-armed
+        t2 = sim.timeout(7)
+        seen.append(t2)
+        yield t2
+
+    sim.run_process(proc())
+    assert seen[0] is seen[1]
+    assert sim.now == 12
+
+
+def test_directly_constructed_timeout_is_never_pooled():
+    sim = Simulator()
+
+    def proc():
+        t = Timeout(sim, 5)
+        yield t
+        assert t not in sim._timeout_pool
+
+    sim.run_process(proc())
+    assert sim.now == 5
+
+
+def test_entry_pool_stays_bounded_in_steady_state():
+    sim = Simulator()
+
+    def sleeper():
+        for _ in range(200):
+            yield sim.timeout(3)
+
+    sim.run_process(sleeper())
+    assert sim.now == 600
+    # 200 sleeps + wakeups cycle through a handful of pooled objects
+    assert len(sim._entry_pool) <= 4
+    assert len(sim._timeout_pool) <= 2
+
+
+def test_sleep_is_the_timeout_alias():
+    assert Simulator.sleep is Simulator.timeout
+    sim = Simulator()
+
+    def proc():
+        yield sim.sleep(9)
+
+    sim.run_process(proc())
+    assert sim.now == 9
+
+
+def test_negative_timeout_raises_on_both_pool_paths():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.timeout(-1)  # fresh-construction path
+    sim._timeout_pool.append(Timeout(sim, 1))
+    with pytest.raises(SimError):
+        sim.timeout(-1)  # pool-hit path
+
+
+# -------------------------------------------------------------- interruption
+def test_interrupt_during_pooled_sleep():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1_000)
+        except Interrupted as i:
+            log.append(("interrupted", sim.now, i.cause))
+        yield sim.timeout(5)  # the pool must still be usable afterwards
+        log.append(("done", sim.now))
+
+    p = sim.spawn(sleeper(), name="sleeper")
+
+    def poker():
+        yield sim.timeout(10)
+        p.interrupt("poke")
+
+    sim.spawn(poker(), name="poker")
+    sim.run()
+    assert log == [("interrupted", 10, "poke"), ("done", 15)]
+
+
+def test_repeated_interrupts_do_not_grow_the_pools():
+    sim = Simulator()
+    hits = []
+
+    def sleeper():
+        for _ in range(50):
+            try:
+                yield sim.timeout(1_000)
+            except Interrupted:
+                hits.append(sim.now)
+
+    p = sim.spawn(sleeper(), name="sleeper")
+
+    def poker():
+        for _ in range(50):
+            yield sim.timeout(7)
+            p.interrupt()
+
+    sim.spawn(poker(), name="poker")
+    sim.run()
+    assert len(hits) == 50
+    # Cancellation is lazy: each canceled far-future entry is recycled
+    # into the pool when the heap reaches it, not dropped on the floor.
+    n0 = len(sim._entry_pool)
+    assert n0 >= 50
+    assert all(e[2] is None and e[3] is None for e in sim._entry_pool)
+    assert len(sim._timeout_pool) <= 2
+
+    # Steady state: further scheduling reuses the pool instead of growing it.
+    def more():
+        for _ in range(100):
+            yield sim.timeout(2)
+
+    sim.run_process(more())
+    assert len(sim._entry_pool) <= n0 + 2
+
+
+def test_interrupt_while_waiting_on_event():
+    sim = Simulator()
+    ev = sim.event("ev")
+    log = []
+
+    def waiter():
+        try:
+            yield ev
+        except Interrupted:
+            log.append(("interrupted", sim.now))
+
+    p = sim.spawn(waiter(), name="waiter")
+
+    def poker():
+        yield sim.timeout(4)
+        p.interrupt()
+        yield sim.timeout(4)
+        ev.trigger("late")  # must not resume the dead waiter
+
+    sim.spawn(poker(), name="poker")
+    sim.run()
+    assert log == [("interrupted", 4)]
+    assert ev._waiters == []  # the interrupt unsubscribed the process
+
+
+# -------------------------------------------------- combinators over the pool
+def test_anyof_with_pooled_timeouts():
+    sim = Simulator()
+
+    def proc():
+        idx, value = yield AnyOf(sim, [sim.timeout(50), sim.timeout(10, "t")])
+        assert (idx, value) == (1, "t")
+        assert sim.now == 10
+
+    sim.run_process(proc())
+
+
+def test_allof_with_pooled_timeouts():
+    sim = Simulator()
+
+    def proc():
+        values = yield AllOf(sim, [sim.timeout(5, "a"), sim.timeout(12, "b")])
+        assert values == ["a", "b"]
+        assert sim.now == 12
+
+    sim.run_process(proc())
+
+
+def test_timeout_value_delivered_through_fast_path():
+    sim = Simulator()
+
+    def proc():
+        got = yield sim.timeout(3, "payload")
+        assert got == "payload"
+        got = yield sim.timeout(3)
+        assert got is None
+
+    sim.run_process(proc())
+
+
+# ------------------------------------------------- optimized vs reference
+def _workload(sim):
+    """A mixed workload touching every resume path: sleeps, events,
+    process joins, combinators, and an interrupt."""
+    trace = []
+    ev = sim.event("ev")
+
+    def child():
+        yield sim.timeout(5)
+        ev.trigger("go")
+        return "child-done"
+
+    def waiter():
+        value = yield ev
+        trace.append((sim.now, "ev", value))
+        try:
+            yield sim.timeout(100)
+        except Interrupted:
+            trace.append((sim.now, "interrupted"))
+
+    def main():
+        c = sim.spawn(child(), name="child")
+        w = sim.spawn(waiter(), name="waiter")
+        result = yield c
+        trace.append((sim.now, "joined", result))
+        idx, _ = yield AnyOf(sim, [sim.timeout(30), sim.timeout(60)])
+        trace.append((sim.now, "anyof", idx))
+        w.interrupt()
+        yield sim.timeout(1)
+        trace.append((sim.now, "end"))
+
+    sim.run_process(main(), name="main")
+    return trace, sim.now, sim.events_dispatched
+
+
+def test_reference_kernel_dispatches_identical_events():
+    opt = _workload(Simulator())
+    ref = _workload(ReferenceSimulator())
+    assert opt == ref  # same trace, same final time, same event count
+
+
+def test_two_optimized_runs_are_deterministic():
+    assert _workload(Simulator()) == _workload(Simulator())
