@@ -1,0 +1,48 @@
+"""Overcommit demo: one NI's frames shared by 16x the endpoints.
+
+The Section 6.4 claim in miniature: 64 client endpoints hammer one
+server NI that has only 4 endpoint frames, once under the paper's
+``random`` victim choice and once under ``active-preference`` (which
+refuses to evict endpoints with queued work while an idle one exists).
+Both stay serviceable — the virtual network degrades, it does not
+collapse — but the smarter policy wastes less of the re-mapping
+machinery: compare the thrash scores (bounced evictions per remap).
+
+The run is deterministic: same seed, bit-identical cell digests.
+
+Run:  PYTHONPATH=src python examples/overcommit_sweep.py [seed]
+"""
+
+import sys
+
+from repro.scale import ScaleCellConfig, run_cell
+
+
+def main(seed: int = 1999) -> None:
+    shape = dict(ratio=16, endpoint_frames=4, client_nodes=4,
+                 duration_ms=40.0, warmup_ms=20.0, seed=seed)
+    results = {}
+    for policy in ("random", "active-preference"):
+        r = run_cell(ScaleCellConfig(policy=policy, **shape))
+        results[policy] = r
+        print(f"--- {policy}: {r.nclients} endpoints -> {r.frames} frames "
+              f"({r.ratio}:1 overcommit)")
+        print(f"    goodput      {r.goodput_msgs_s / 1e3:8.1f} K msg/s "
+              f"(p50 {r.p50_us:.0f} us, p99 {r.p99_us:.0f} us)")
+        print(f"    re-mapping   {r.remaps_per_s:8.1f} remaps/s, "
+              f"{r.evictions} evictions, {r.bounced_evictions} bounced")
+        print(f"    thrash score {r.thrash_score:8.2f}  "
+              f"(evict/remap {r.eviction_remap_ratio:.2f})")
+        print(f"    cell digest  {r.digest[:16]}")
+
+    rnd, ap = results["random"], results["active-preference"]
+    print(f"--- degradation is graceful: worst goodput "
+          f"{min(rnd.goodput_msgs_s, ap.goodput_msgs_s) / 1e3:.1f} K msg/s "
+          f"at {rnd.ratio}:1 (never zero)")
+    if ap.thrash_score < rnd.thrash_score:
+        print(f"--- active-preference wasted less re-mapping work: "
+              f"thrash {ap.thrash_score:.2f} vs random's {rnd.thrash_score:.2f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1999)

@@ -33,6 +33,7 @@ from .am.vnet import VirtualNetwork, new_endpoint, parallel_vnet, star_vnet
 from .cluster.builder import Cluster as _BuilderCluster
 from .cluster.builder import Node
 from .cluster.config import ClusterConfig
+from .osim.segdriver import REPLACEMENT_POLICIES, ResidencyScoreboard
 from .sim.core import Interrupted, SimError
 
 __all__ = [
@@ -49,13 +50,26 @@ __all__ = [
     "Interrupted",
     "NameService",
     "Node",
+    "ResidencyScoreboard",
     "SimError",
     "Token",
     "VirtualNetwork",
     "new_endpoint",
     "parallel_vnet",
+    "replacement_policies",
     "star_vnet",
 ]
+
+
+def replacement_policies() -> list[str]:
+    """Names of the registered endpoint-frame replacement policies.
+
+    Valid values for :attr:`ClusterConfig.replacement_policy`; see
+    :mod:`repro.osim.segdriver` for what each one does and
+    :mod:`repro.scale` for the harness that compares them under
+    overcommit.
+    """
+    return sorted(REPLACEMENT_POLICIES)
 
 
 class Cluster(_BuilderCluster):

@@ -240,8 +240,22 @@ class ClusterConfig:
     remap_sync_latency_us: float = 2_200.0
     #: background remap kernel thread service period
     remap_scan_period_us: float = 200.0
-    #: endpoint replacement policy: "random" (the paper's choice) or "lru"
+    #: endpoint replacement policy; the registry in
+    #: :mod:`repro.osim.segdriver` defines the valid names — "random"
+    #: (the paper's choice), "lru", "clock" (second chance), and
+    #: "active-preference" (deprioritize endpoints with queued sends or a
+    #: pending make-resident request)
     replacement_policy: str = "random"
+    #: an endpoint loaded within this window is protected from eviction
+    #: (unless every candidate is that fresh); 0 disables, reproducing
+    #: the paper's unprotected replacement behaviour
+    eviction_hysteresis_us: float = 0.0
+    #: sliding window (in remaps) of the residency scoreboard's thrash
+    #: detector
+    thrash_window: int = 64
+    #: an eviction counts as *bounced* (wasted — the Section 6.4 thrash
+    #: signature) if the victim re-requests residency within this window
+    thrash_bounce_us: float = 1000.0
     #: §6.4.1 ablation: with False, a write fault blocks the faulting
     #: thread synchronously until the endpoint is resident
     enable_onhost_rw: bool = True
@@ -313,8 +327,21 @@ class ClusterConfig:
                 "user credits must not exceed the receive queue depth "
                 "(credits exist to prevent queue overrun, Section 6.4)"
             )
-        if self.replacement_policy not in ("random", "lru"):
-            raise ValueError(f"unknown replacement policy {self.replacement_policy!r}")
+        # The policy registry lives with the driver; import lazily so the
+        # config module (imported by the driver) stays cycle-free.
+        from ..osim.segdriver import REPLACEMENT_POLICIES
+
+        if self.replacement_policy not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown replacement policy {self.replacement_policy!r}; "
+                f"registered: {sorted(REPLACEMENT_POLICIES)}"
+            )
+        if self.eviction_hysteresis_us < 0:
+            raise ValueError("eviction_hysteresis_us must be >= 0")
+        if self.thrash_window < 1:
+            raise ValueError("thrash_window must be >= 1")
+        if self.thrash_bounce_us < 0:
+            raise ValueError("thrash_bounce_us must be >= 0")
         if not (0.0 <= self.packet_loss_prob <= 1.0):
             raise ValueError("packet_loss_prob must be a probability")
         if not (0.0 <= self.packet_corrupt_prob <= 1.0):

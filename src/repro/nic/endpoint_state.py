@@ -109,8 +109,18 @@ class EndpointState:
 
         #: WRR bookkeeping: True while queued in the NI service rotation
         self.in_rotation = False
-        #: last service time, for LRU replacement ablation
+        #: last service time, for LRU replacement
         self.last_active_ns = 0
+        #: second-chance bit for the "clock" replacement policy; the NI
+        #: firmware sets it on send service and message delivery, the
+        #: policy's sweep clears it
+        self.referenced = False
+        #: when this endpoint last became resident (eviction hysteresis)
+        self.loaded_at_ns = 0
+        #: when this endpoint was last unloaded, -1 once residency is
+        #: re-requested; a re-request within ``thrash_bounce_us`` of this
+        #: stamp scores the eviction as a bounce (thrash, §6.4)
+        self.evicted_at_ns = -1
 
         self.stats = EndpointStats()
 

@@ -387,6 +387,7 @@ class Nic:
             return
         ep.send_ring.popleft()
         ep.last_active_ns = self.sim.now
+        ep.referenced = True
         self._cur_count += 1
         msg.state = MessageState.BOUND
         ep.inflight += 1
@@ -765,6 +766,7 @@ class Nic:
         was_empty = not q
         q.append(arrived)
         peer.record_delivery(pkt.msg_id)
+        ep.referenced = True  # receive activity counts for clock replacement
         ep.stats.delivered_in += 1
         self.stats.deliveries += 1
         tr = self.sim.trace
@@ -1032,11 +1034,25 @@ class Nic:
         self.frames[frame] = ep  # reserve before the DMA
         load_start = self.sim.now
         yield from self.sbus.transfer(self.cfg.frame_bytes, SbusDma.READ)
+        if ep.residency is Residency.FREED or self.endpoints.get(ep.ep_id) is not ep:
+            # The driver freed the endpoint while the load DMA was in
+            # flight (the "free" op saw ep.frame still unset, so it could
+            # not release the reservation).  Completing the load would
+            # resurrect a freed endpoint into a frame — release the
+            # reservation instead and report completion.
+            if self.frames[frame] is ep:
+                self.frames[frame] = None
+            ep.transition = False
+            self._work.set()
+            op.done.trigger(None)
+            return
         if self.sim.trace.enabled:
             self.sim.trace.emit("ep.load", self.nic_id, ep=ep.ep_id, frame=frame,
                                 dur_ns=self.sim.now - load_start)
         ep.frame = frame
         ep.residency = Residency.ONNIC_RW
+        ep.loaded_at_ns = self.sim.now
+        ep.referenced = True  # fresh loads start with a second chance
         ep.mr_requested = False
         ep.transition = False
         if ep.send_ring:

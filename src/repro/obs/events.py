@@ -40,7 +40,7 @@ KINDS = (
     "timer.arm", "timer.fire",
     "ep.load", "ep.unload", "ep.evict", "ep.writefault",
     "ep.pagein", "ep.pageout",
-    "drv.op", "drv.proxy_fault", "drv.remap",
+    "drv.op", "drv.proxy_fault", "drv.remap", "drv.thrash",
     "am.request", "am.reply", "am.undeliverable",
     "net.deliver", "net.drop",
     "thr.block", "thr.wake",

@@ -14,9 +14,23 @@ Key mechanisms reproduced here:
   (``enable_onhost_rw=False``) to reproduce the single-threaded-server
   collapse ablation.
 * **A background remap kernel thread** services re-mapping requests:
-  evicting a victim (random replacement, Section 4.1) when all frames are
+  evicting a victim (replacement policy, Section 4.1) when all frames are
   occupied, quiescing and unloading it through the NI, then loading the
-  target endpoint.
+  target endpoint.  Victim selection is pluggable
+  (:data:`REPLACEMENT_POLICIES`): the paper's ``random`` choice, strict
+  ``lru``, a ``clock`` second-chance sweep over the frame array, and an
+  ``active-preference`` policy that deprioritizes endpoints with queued
+  sends or a pending make-resident request (evicting those is pure
+  thrash — they fault straight back in, Section 6.4).  Recently loaded
+  endpoints can be protected from re-eviction for
+  ``eviction_hysteresis_us`` (0 disables, reproducing the paper's
+  behaviour).
+* **A residency scoreboard** tracks remaps, evictions and *bounced*
+  evictions (the victim re-requested residency within
+  ``thrash_bounce_us`` of being unloaded — the eviction bought nothing)
+  per NIC; its evictions-per-remap and thrash ratios quantify how close
+  the node is to the Section 6.4 page-thrash regime and are surfaced
+  through :mod:`repro.obs` metrics.
 * **A proxy kernel thread** performs operations on behalf of the NI: the
   arrival of a message for a non-resident endpoint generates a
   software-initiated page fault through the same driver mechanisms.
@@ -32,7 +46,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Optional
+from typing import Callable, Deque, Optional
 
 from ..cluster.config import ClusterConfig
 from ..hw.host import Cpu
@@ -43,7 +57,14 @@ from ..sim.core import Event, Simulator, us
 from ..sim.resources import Gate
 from ..sim.rng import RngStreams
 
-__all__ = ["SegmentDriver", "DriverStats"]
+__all__ = [
+    "SegmentDriver",
+    "DriverStats",
+    "ResidencyScoreboard",
+    "VictimPolicy",
+    "REPLACEMENT_POLICIES",
+    "register_policy",
+]
 
 
 @dataclass
@@ -62,10 +83,208 @@ class DriverStats:
     stale_notifies: int = 0
 
     def remap_rate(self, elapsed_ns: int) -> float:
-        """Re-mappings per second over ``elapsed_ns`` (cf. §6.4.1's 200-300/s)."""
+        """Re-mappings per second over ``elapsed_ns`` (cf. §6.4.1's 200-300/s).
+
+        Guarded against ``elapsed_ns <= 0`` (a zero-length measurement
+        window must read as "no rate", not raise ZeroDivisionError).
+        """
         if elapsed_ns <= 0:
             return 0.0
         return self.remaps / (elapsed_ns / 1e9)
+
+
+# ===================================================== replacement policies
+#: registry of victim-selection policies, keyed by the
+#: ``ClusterConfig.replacement_policy`` name.  Filled by
+#: :func:`register_policy`; ``ClusterConfig.validate`` checks against it.
+REPLACEMENT_POLICIES: dict[str, Callable[["SegmentDriver"], "VictimPolicy"]] = {}
+
+
+def register_policy(name: str):
+    """Class decorator: register a :class:`VictimPolicy` under ``name``."""
+
+    def deco(cls):
+        cls.name = name
+        REPLACEMENT_POLICIES[name] = cls
+        return cls
+
+    return deco
+
+
+class VictimPolicy:
+    """Chooses which resident endpoint to evict when all frames are full.
+
+    ``choose`` receives only *eligible* candidates: resident, not
+    quiescing, not in transition, not freed, and (when the hysteresis
+    knob allows) not loaded within the protection window.  It must return
+    one of them; the driver never calls it with an empty list.
+    """
+
+    name = "?"
+
+    def __init__(self, driver: "SegmentDriver"):
+        self.driver = driver
+
+    def choose(self, candidates: list[EndpointState]) -> EndpointState:
+        raise NotImplementedError
+
+
+@register_policy("random")
+class RandomPolicy(VictimPolicy):
+    """The paper's choice (Section 4.1): uniformly random victim."""
+
+    def choose(self, candidates: list[EndpointState]) -> EndpointState:
+        return self.driver.rng.choice(candidates)
+
+
+@register_policy("lru")
+class LruPolicy(VictimPolicy):
+    """Strict least-recently-active, tie-broken on ``ep_id``.
+
+    The explicit secondary key keeps victim choice deterministic when
+    several endpoints share a ``last_active_ns`` (common right after a
+    burst of loads, where none has been serviced yet).
+    """
+
+    def choose(self, candidates: list[EndpointState]) -> EndpointState:
+        return min(candidates, key=lambda c: (c.last_active_ns, c.ep_id))
+
+
+@register_policy("clock")
+class ClockPolicy(VictimPolicy):
+    """Second-chance clock sweep over the NI frame array.
+
+    A hand walks the frames; a candidate with its ``referenced`` bit set
+    (the firmware sets it on send service and delivery) gets a second
+    chance — the bit is cleared and the hand moves on.  The first
+    unreferenced eligible candidate is the victim.  Two full sweeps
+    always suffice (the first clears every bit); the LRU fallback is a
+    belt-and-braces guarantee of termination.
+    """
+
+    def __init__(self, driver: "SegmentDriver"):
+        super().__init__(driver)
+        self._hand = 0
+
+    def choose(self, candidates: list[EndpointState]) -> EndpointState:
+        frames = self.driver.nic.frames
+        eligible = {id(c) for c in candidates}
+        n = len(frames)
+        for _ in range(2 * n):
+            ep = frames[self._hand]
+            self._hand = (self._hand + 1) % n
+            if ep is None or id(ep) not in eligible:
+                continue
+            if ep.referenced:
+                ep.referenced = False
+                continue
+            return ep
+        return min(candidates, key=lambda c: (c.last_active_ns, c.ep_id))
+
+
+@register_policy("active-preference")
+class ActivePreferencePolicy(VictimPolicy):
+    """Prefer idle victims (paper-faithful reading of Section 6.4).
+
+    Evicting an endpoint with queued sends, unresolved in-flight
+    messages, or a pending make-resident request is pure thrash: it
+    faults straight back in, and the eviction bought nothing.  This
+    policy ranks such endpoints last and picks the least-recently-active
+    idle endpoint (tie-broken on ``ep_id``) when one exists.
+    """
+
+    def choose(self, candidates: list[EndpointState]) -> EndpointState:
+        def rank(c: EndpointState):
+            busy = 1 if (c.send_ring or c.mr_requested or c.inflight) else 0
+            return (busy, c.last_active_ns, c.ep_id)
+
+        return min(candidates, key=rank)
+
+
+# ====================================================== residency scoreboard
+class ResidencyScoreboard:
+    """Per-NIC residency health: remap/eviction accounting + thrash detection.
+
+    *Thrash* here is the Section 6.4 page-thrash regime: evictions whose
+    victim promptly re-requests residency, so the re-mapping machinery
+    spins without making progress.  Two ratios:
+
+    ``eviction_remap_ratio``
+        evictions per re-mapping — 1.0 means every remap had to evict
+        (the frames are permanently oversubscribed);
+    ``thrash_score``
+        *bounced* evictions per re-mapping — the fraction of re-mapping
+        work that was wasted.  An eviction bounces when the victim
+        re-requests residency within ``thrash_bounce_us`` of being
+        unloaded: either it still had queued sends (it faults back in
+        instantly) or a client re-targeted it before the eviction could
+        pay for itself.  This is the policy-sensitive metric — evicting
+        hot endpoints bounces, evicting idle ones does not.
+
+    A sliding window over the last ``window`` remaps drives
+    :meth:`thrashing`, the hook a control loop (or dashboard) would key
+    off; the window state updates unconditionally but only observation
+    reads it, so tracing on/off cannot perturb behaviour.
+    """
+
+    def __init__(self, window: int = 64):
+        self.window = window
+        self.remaps = 0
+        self.evictions = 0
+        self.forced_evictions = 0
+        self.bounced_evictions = 0
+        #: candidates passed over because they were inside the
+        #: ``eviction_hysteresis_us`` protection window
+        self.hysteresis_vetoes = 0
+        self.per_ep_evictions: dict[int, int] = {}
+        #: 1 per remap that required an eviction, else 0 (sliding window)
+        self._recent: Deque[int] = deque(maxlen=window)
+
+    def record_remap(self, evicted: bool) -> None:
+        self.remaps += 1
+        self._recent.append(1 if evicted else 0)
+
+    def record_eviction(self, ep: EndpointState, *, forced: bool = False) -> None:
+        self.evictions += 1
+        if forced:
+            self.forced_evictions += 1
+        self.per_ep_evictions[ep.ep_id] = self.per_ep_evictions.get(ep.ep_id, 0) + 1
+
+    def record_bounce(self, ep: EndpointState) -> None:
+        """The evicted ``ep`` re-requested residency inside the bounce window."""
+        self.bounced_evictions += 1
+
+    @property
+    def eviction_remap_ratio(self) -> float:
+        return self.evictions / max(1, self.remaps)
+
+    @property
+    def thrash_score(self) -> float:
+        return self.bounced_evictions / max(1, self.remaps)
+
+    def recent_pressure(self) -> float:
+        """Fraction of the last ``window`` remaps that had to evict."""
+        if not self._recent:
+            return 0.0
+        return sum(self._recent) / len(self._recent)
+
+    def thrashing(self, threshold: float = 0.75) -> bool:
+        """True once a full window of remaps mostly required evictions."""
+        return len(self._recent) == self.window and self.recent_pressure() >= threshold
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict for reporting/JSON (deterministic key order)."""
+        return {
+            "remaps": self.remaps,
+            "evictions": self.evictions,
+            "forced_evictions": self.forced_evictions,
+            "bounced_evictions": self.bounced_evictions,
+            "hysteresis_vetoes": self.hysteresis_vetoes,
+            "eviction_remap_ratio": self.eviction_remap_ratio,
+            "thrash_score": self.thrash_score,
+            "recent_pressure": self.recent_pressure(),
+            "max_ep_evictions": max(self.per_ep_evictions.values(), default=0),
+        }
 
 
 class SegmentDriver:
@@ -86,6 +305,19 @@ class SegmentDriver:
         self.rng = (rngs or RngStreams(cfg.seed)).stream(f"driver{nic.nic_id}")
         self.clock = LamportClock()
         self.stats = DriverStats()
+        try:
+            policy_cls = REPLACEMENT_POLICIES[cfg.replacement_policy]
+        except KeyError:
+            raise ValueError(
+                f"unknown replacement policy {cfg.replacement_policy!r}; "
+                f"registered: {sorted(REPLACEMENT_POLICIES)}"
+            ) from None
+        self.policy = policy_cls(self)
+        self.scoreboard = ResidencyScoreboard(window=cfg.thrash_window)
+        self._hysteresis_ns = us(cfg.eviction_hysteresis_us)
+        self._bounce_ns = us(cfg.thrash_bounce_us)
+        #: last thrashing() state, for edge-triggered drv.thrash events
+        self._thrash_flagged = False
 
         self.endpoints: dict[int, EndpointState] = {}
         self._next_ep_id = 1
@@ -140,6 +372,11 @@ class SegmentDriver:
             yield from self._unload(ep)
         ep.residency = Residency.FREED
         ep.generation += 1  # stale NI notifications now discarded
+        # An endpoint can never become resident after this point, so any
+        # thread parked in wait_resident must be released now — leaving
+        # it parked would be a lost wakeup (a free racing a write fault
+        # under the enable_onhost_rw=False ablation, or an am_wait).
+        self._wake_resident_waiters(ep)
         done = Event(self.sim)
         self.nic.driver_request(DriverOp("free", ep, done, clock=self.clock.tick()))
         yield done
@@ -185,13 +422,19 @@ class SegmentDriver:
                 self.sim.trace.emit("ep.pageout", self.nic.nic_id, ep=ep.ep_id)
 
     def wait_resident(self, ep: EndpointState) -> Event:
-        """Event triggered when ``ep`` reaches on-nic r/w."""
+        """Event triggered when ``ep`` reaches on-nic r/w (or is freed:
+        waiters are released rather than leaked — they must re-check the
+        residency state on wakeup)."""
         ev = Event(self.sim)
-        if ep.resident:
+        if ep.resident or ep.residency is Residency.FREED:
             ev.trigger(None)
         else:
             self._resident_waiters.setdefault(ep.ep_id, []).append(ev)
         return ev
+
+    def _wake_resident_waiters(self, ep: EndpointState) -> None:
+        for ev in self._resident_waiters.pop(ep.ep_id, []):
+            ev.trigger(None)
 
     # ========================================================== remap engine
     def request_remap(self, ep: EndpointState) -> None:
@@ -199,6 +442,13 @@ class SegmentDriver:
         if ep.resident or ep.transition or ep.residency is Residency.FREED:
             return
         if ep not in self._remap_q:
+            if ep.evicted_at_ns >= 0:
+                # First residency request since the last eviction: if it
+                # comes inside the bounce window, that eviction was thrash
+                # (Section 6.4 — the victim fell straight back in).
+                if self.sim.now - ep.evicted_at_ns <= self._bounce_ns:
+                    self.scoreboard.record_bounce(ep)
+                ep.evicted_at_ns = -1
             self._remap_q.append(ep)
             self._remap_gate.set()
 
@@ -226,6 +476,7 @@ class SegmentDriver:
         # off-CPU synchronization latency of the re-mapping (§4.2)
         yield from self._kwait(self._remap_owner, self.sim.timeout(us(cfg.remap_sync_latency_us)))
         frame = self.nic.free_frame_index()
+        evicted = False
         if frame is None:
             victim = self._choose_victim()
             if victim is None:
@@ -234,12 +485,14 @@ class SegmentDriver:
                 self.sim.schedule(us(cfg.remap_scan_period_us), self.request_remap, ep)
                 return
             yield from self._unload(victim)
+            evicted = True
             self.stats.evictions += 1
+            self.scoreboard.record_eviction(victim)
             if self.sim.trace.enabled:
                 self.sim.trace.emit("ep.evict", self.nic.nic_id, ep=victim.ep_id,
                                     for_ep=ep.ep_id)
-            # A victim with queued work will fault back in (thrash is the
-            # workload's problem, not the policy's -- Section 6.4).
+            # A victim unloaded with queued work faults straight back in
+            # (Section 6.4); request_remap scores that as a bounce.
             if victim.send_ring or victim.mr_requested:
                 self.request_remap(victim)
             frame = self.nic.free_frame_index()
@@ -249,30 +502,76 @@ class SegmentDriver:
                 return
         if ep.residency is Residency.FREED:
             ep.transition = False
+            self._wake_resident_waiters(ep)
             return
         done = Event(self.sim)
         self.nic.driver_request(DriverOp("load", ep, done, clock=self.clock.tick(), frame=frame))
         yield from self._kwait(self._remap_owner, done)
+        if ep.residency is Residency.FREED:
+            # Freed while the load DMA was in flight: the NI declined the
+            # load; nothing became resident.
+            self._wake_resident_waiters(ep)
+            return
         self.stats.loads += 1
         self.stats.remaps += 1
+        self.scoreboard.record_remap(evicted=evicted)
         yield from self.cpu.compute(us(cfg.remap_driver_overhead_us / 2), owner=self._remap_owner, priority=1)
+        self._observe_residency()
         if self.sim.trace.enabled:
             self.sim.trace.emit("drv.remap", self.nic.nic_id, ep=ep.ep_id,
                                 dur_ns=self.sim.now - remap_start)
-        for ev in self._resident_waiters.pop(ep.ep_id, []):
-            ev.trigger(None)
+        self._wake_resident_waiters(ep)
 
     def _choose_victim(self) -> Optional[EndpointState]:
+        """Pick an eviction victim via the configured policy (§4.1).
+
+        Hysteresis: endpoints loaded within the last
+        ``eviction_hysteresis_us`` are exempted, unless *every* candidate
+        is that fresh (a frame must still be found, so protection yields
+        rather than deadlocking the remap engine).
+        """
         candidates = [
             cand
             for cand in self.nic.resident_endpoints()
             if not cand.quiescing and not cand.transition
+            and cand.residency is not Residency.FREED
         ]
         if not candidates:
             return None
-        if self.cfg.replacement_policy == "lru":
-            return min(candidates, key=lambda c: c.last_active_ns)
-        return self.rng.choice(candidates)
+        if self._hysteresis_ns > 0:
+            now = self.sim.now
+            seasoned = [
+                c for c in candidates if now - c.loaded_at_ns >= self._hysteresis_ns
+            ]
+            if seasoned and len(seasoned) < len(candidates):
+                self.scoreboard.hysteresis_vetoes += len(candidates) - len(seasoned)
+                candidates = seasoned
+        return self.policy.choose(candidates)
+
+    def _observe_residency(self) -> None:
+        """Surface scoreboard counters through repro.obs (observer-only)."""
+        flagged = self.scoreboard.thrashing()
+        was_flagged = self._thrash_flagged
+        self._thrash_flagged = flagged
+        tr = self.sim.trace
+        if not tr.enabled:
+            return
+        sb = self.scoreboard
+        node = self.nic.nic_id
+        m = tr.metrics
+        m.gauge("residency.thrash_score", node=node, policy=self.policy.name).set(
+            sb.thrash_score
+        )
+        m.gauge("residency.eviction_remap_ratio", node=node, policy=self.policy.name).set(
+            sb.eviction_remap_ratio
+        )
+        m.gauge("residency.resident", node=node).set(
+            len(self.nic.resident_endpoints())
+        )
+        if flagged and not was_flagged:
+            tr.emit("drv.thrash", node, policy=self.policy.name,
+                    pressure=round(sb.recent_pressure(), 3),
+                    thrash_score=round(sb.thrash_score, 3))
 
     def force_evict(self, ep: EndpointState) -> bool:
         """Forcibly unload a resident endpoint (chaos adversary: eviction
@@ -289,6 +588,7 @@ class SegmentDriver:
         def evictor():
             yield from self._unload(ep)
             self.stats.evictions += 1
+            self.scoreboard.record_eviction(ep, forced=True)
             if self.sim.trace.enabled:
                 self.sim.trace.emit("ep.evict", self.nic.nic_id, ep=ep.ep_id,
                                     forced=True)
@@ -307,6 +607,7 @@ class SegmentDriver:
         self.nic.driver_request(DriverOp("unload", ep, done, clock=self.clock.tick()))
         yield from self._kwait(self._remap_owner, done)
         ep.transition = False
+        ep.evicted_at_ns = self.sim.now  # start of the bounce window
         self.stats.unloads += 1
 
     # ============================================================ proxy loop

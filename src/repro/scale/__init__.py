@@ -1,0 +1,50 @@
+"""``repro.scale`` — endpoint-overcommit load generator and sweep harness.
+
+The paper's central scaling claim (Section 6.4) is that a virtual
+network stays serviceable when applications overcommit the NI's eight
+endpoint frames by well past 8:1 — the re-mapping machinery degrades
+goodput gracefully instead of collapsing.  This package regenerates that
+relationship:
+
+* :mod:`repro.scale.loadgen` — a batched closed-loop load generator:
+  ``ratio × endpoint_frames`` client endpoints (spread over a fixed pool
+  of client nodes, hundreds of client threads at the high ratios) each
+  stream request bursts at a dedicated server endpoint, client/server
+  style (:mod:`repro.apps.clientserver`), so the server NI is the only
+  node under residency pressure;
+* :mod:`repro.scale.sweep` — the (policy × overcommit-ratio) sweep:
+  goodput, p50/p99 request latency, remap rate and the residency
+  scoreboard's thrash score per cell, JSON output (``BENCH_SCALE.json``)
+  and a ``--smoke`` CI mode that runs every cell twice and insists on
+  bit-identical digests.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.scale --smoke
+    PYTHONPATH=src python -m repro.scale --policies random active-preference \\
+        --ratios 1 8 32 --out BENCH_SCALE.json
+
+Every run is deterministic: the same ``(policy, ratio, seed)`` cell
+produces a bit-identical result digest (and, with tracing on, a
+bit-identical timeline digest) on every run.
+"""
+
+from .loadgen import ScaleCellConfig, ScaleCellResult, run_cell
+from .sweep import (
+    DEFAULT_POLICIES,
+    DEFAULT_RATIOS,
+    ScaleReport,
+    main,
+    run_sweep,
+)
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "DEFAULT_RATIOS",
+    "ScaleCellConfig",
+    "ScaleCellResult",
+    "ScaleReport",
+    "main",
+    "run_cell",
+    "run_sweep",
+]

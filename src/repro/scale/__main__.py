@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.scale`` runs the overcommit sweep."""
+
+from .sweep import main
+
+raise SystemExit(main())

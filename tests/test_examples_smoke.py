@@ -19,7 +19,7 @@ def load(name):
 @pytest.mark.parametrize(
     "name",
     ["quickstart", "client_server", "parallel_stencil", "hotswap_failover", "parallel_io",
-     "chaos_storm"],
+     "chaos_storm", "overcommit_sweep"],
 )
 def test_example_imports(name):
     module = load(name)

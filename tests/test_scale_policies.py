@@ -1,0 +1,122 @@
+"""repro.scale: per-policy determinism + replacement-policy regressions.
+
+Three properties pin the overcommit harness down:
+
+* **Determinism** — the same ``(policy, ratio, seed)`` cell produces a
+  bit-identical result digest (and, with tracing on, a bit-identical
+  event-timeline digest) on every run.  Everything downstream — the
+  committed ``BENCH_SCALE.json``, the CI smoke gate, regression
+  bisection — leans on this.
+* **Policy quality** — ``active-preference`` exists because evicting an
+  endpoint that is about to be used again is wasted re-mapping work
+  (Section 6.4's thrash).  At 16:1 overcommit it must beat the paper's
+  ``random`` choice on the scoreboard's thrash score.
+* **Hysteresis compatibility** — ``eviction_hysteresis_us=0`` (the
+  default) must reproduce the unprotected paper behaviour exactly,
+  digest included; a window on the frame-recycle timescale must engage
+  (vetoes observed) and still make forward progress.
+
+Cells here are deliberately tiny; the committed BENCH_SCALE.json holds
+the full-size sweep.
+"""
+
+import pytest
+
+from repro.scale import (
+    DEFAULT_POLICIES,
+    DEFAULT_RATIOS,
+    ScaleCellConfig,
+    run_cell,
+    run_sweep,
+)
+
+#: small-but-real cell: 2 frames, 4:1 overcommit, 8 clients
+TINY = dict(ratio=4, endpoint_frames=2, client_nodes=2,
+            duration_ms=10.0, warmup_ms=5.0)
+
+
+@pytest.mark.parametrize("policy", DEFAULT_POLICIES)
+def test_cell_is_deterministic_per_policy(policy):
+    cfg = ScaleCellConfig(policy=policy, **TINY)
+    a = run_cell(cfg, trace=True)
+    b = run_cell(cfg, trace=True)
+    assert a.completed > 0, "tiny cell made no progress"
+    assert a.digest == b.digest
+    assert a.timeline_digest and a.timeline_digest == b.timeline_digest
+    assert (a.completed, a.remaps, a.evictions) == (b.completed, b.remaps, b.evictions)
+
+
+def test_different_seeds_diverge():
+    a = run_cell(ScaleCellConfig(seed=1, **TINY))
+    b = run_cell(ScaleCellConfig(seed=2, **TINY))
+    assert a.digest != b.digest
+
+
+def test_active_preference_beats_random_on_thrash_at_16x():
+    """Deprioritizing endpoints with queued work must reduce bounced
+    evictions relative to the paper's random choice (Section 6.4)."""
+    shape = dict(ratio=16, endpoint_frames=4, client_nodes=4,
+                 duration_ms=60.0, warmup_ms=20.0)
+    rnd = run_cell(ScaleCellConfig(policy="random", **shape))
+    ap = run_cell(ScaleCellConfig(policy="active-preference", **shape))
+    assert rnd.completed > 0 and ap.completed > 0
+    assert rnd.remaps > 0 and ap.remaps > 0
+    assert ap.thrash_score < rnd.thrash_score, (
+        f"active-preference thrash {ap.thrash_score:.3f} not better than "
+        f"random {rnd.thrash_score:.3f}"
+    )
+    assert ap.bounced_evictions < rnd.bounced_evictions
+
+
+def test_hysteresis_zero_reproduces_default_behaviour():
+    base = run_cell(ScaleCellConfig(policy="lru", **TINY))
+    h0 = run_cell(ScaleCellConfig(policy="lru", eviction_hysteresis_us=0.0, **TINY))
+    assert h0.digest == base.digest
+    assert h0.hysteresis_vetoes == 0
+
+
+def test_hysteresis_window_engages():
+    """A window on the frame-recycle timescale must veto fresh victims
+    (changing the timeline) while the cell keeps making progress."""
+    shape = dict(policy="lru", ratio=8, endpoint_frames=4, client_nodes=4,
+                 duration_ms=40.0, warmup_ms=20.0)
+    base = run_cell(ScaleCellConfig(**shape))
+    hyst = run_cell(ScaleCellConfig(eviction_hysteresis_us=10_000.0, **shape))
+    assert hyst.hysteresis_vetoes > 0
+    assert hyst.digest != base.digest
+    assert hyst.completed > 0
+
+
+def test_sweep_grid_and_digest():
+    report = run_sweep(
+        ["random", "lru"], [1, 4],
+        frames=2, duration_ms=8.0, warmup_ms=4.0, client_nodes=2,
+        verify_determinism=True,
+    )
+    assert len(report.cells) == 4
+    assert not report.nondeterministic
+    assert not report.collapsed_cells()
+    assert report.cell("lru", 4) is not None
+    assert report.cell("lru", 64) is None
+    j = report.to_json()
+    assert j["digest"] == report.digest
+    assert len(j["cells"]) == 4
+    # at 1:1 nothing competes for frames: no evictions at all
+    for policy in ("random", "lru"):
+        assert report.cell(policy, 1).evictions == 0
+
+
+def test_default_grid_covers_issue_matrix():
+    assert DEFAULT_RATIOS[0] == 1 and DEFAULT_RATIOS[-1] == 64
+    assert set(DEFAULT_POLICIES) == {"random", "lru", "clock", "active-preference"}
+
+
+def test_cell_config_derives_cluster_config():
+    ccfg = ScaleCellConfig(policy="clock", ratio=8, endpoint_frames=4,
+                           client_nodes=4, eviction_hysteresis_us=123.0)
+    assert ccfg.nclients == 32
+    cfg = ccfg.cluster_config()
+    assert cfg.replacement_policy == "clock"
+    assert cfg.endpoint_frames == 4
+    assert cfg.eviction_hysteresis_us == 123.0
+    assert cfg.num_hosts == 5  # 4 client nodes + the server

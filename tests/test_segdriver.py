@@ -191,3 +191,168 @@ def test_sync_fault_ablation_blocks_until_resident():
     # the faulting "thread" only resumed once the endpoint was resident
     assert ep.resident
     assert cluster.sim.now - t0 >= us(500)  # paid the whole remap latency
+
+
+# ===================================================== replacement policies
+def resident_pair(cluster, drv):
+    """Allocate three endpoints and make the first two resident."""
+    eps = [alloc(cluster, 0, tag=i + 1) for i in range(3)]
+    for ep in eps[:2]:
+        cluster.run_process(drv.write_fault(ep), "f")
+        cluster.run(until=cluster.sim.now + ms(20))
+    assert all(e.resident for e in eps[:2])
+    return eps
+
+
+def test_policy_registry_exposes_all_policies():
+    from repro.osim.segdriver import REPLACEMENT_POLICIES
+
+    assert set(REPLACEMENT_POLICIES) >= {"random", "lru", "clock", "active-preference"}
+    for name, cls in REPLACEMENT_POLICIES.items():
+        assert cls.name == name
+
+
+def test_unknown_policy_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown replacement policy"):
+        build(replacement_policy="second-sight")
+
+
+def test_lru_tie_break_is_deterministic_on_ep_id():
+    """Equal last_active_ns must not leave the victim to dict order."""
+    cluster = build(endpoint_frames=2, replacement_policy="lru")
+    drv = cluster.node(0).driver
+    eps = resident_pair(cluster, drv)
+    eps[0].last_active_ns = 0
+    eps[1].last_active_ns = 0  # tie -> lower ep_id loses
+    cluster.run_process(drv.write_fault(eps[2]), "f3")
+    cluster.run(until=cluster.sim.now + ms(40))
+    assert eps[0].residency is Residency.ONHOST_RO
+    assert eps[1].resident
+
+
+def test_clock_policy_gives_second_chance():
+    cluster = build(endpoint_frames=2, replacement_policy="clock")
+    drv = cluster.node(0).driver
+    eps = resident_pair(cluster, drv)
+    eps[0].referenced = True   # recently touched: spared, bit cleared
+    eps[1].referenced = False  # hand stops here
+    cluster.run_process(drv.write_fault(eps[2]), "f3")
+    cluster.run(until=cluster.sim.now + ms(40))
+    assert eps[1].residency is Residency.ONHOST_RO
+    assert eps[0].resident
+    assert eps[0].referenced is False  # the sweep consumed its chance
+
+
+def test_active_preference_spares_endpoint_with_queued_work():
+    """LRU would evict eps[0]; active-preference sees its pending work."""
+    cluster = build(endpoint_frames=2, replacement_policy="active-preference")
+    drv = cluster.node(0).driver
+    eps = resident_pair(cluster, drv)
+    eps[0].last_active_ns = 0                     # the LRU victim...
+    eps[0].mr_requested = True                    # ...but it has queued work
+    eps[1].last_active_ns = cluster.sim.now       # recently active, yet idle
+    cluster.run_process(drv.write_fault(eps[2]), "f3")
+    cluster.run(until=cluster.sim.now + ms(40))
+    assert eps[1].residency is Residency.ONHOST_RO
+    assert eps[0].resident
+
+
+def test_eviction_hysteresis_protects_fresh_endpoint():
+    cluster = build(endpoint_frames=2, replacement_policy="lru",
+                    eviction_hysteresis_us=50_000.0)
+    drv = cluster.node(0).driver
+    eps = [alloc(cluster, 0, tag=i + 1) for i in range(3)]
+    # eps[0] loads now; eps[1] loads 60ms later, so at eviction time
+    # eps[0] is seasoned and eps[1] is inside the protection window.
+    cluster.run_process(drv.write_fault(eps[0]), "f0")
+    cluster.run(until=cluster.sim.now + ms(60))
+    cluster.run_process(drv.write_fault(eps[1]), "f1")
+    cluster.run(until=cluster.sim.now + ms(5))
+    assert all(e.resident for e in eps[:2])
+    eps[1].last_active_ns = 0  # LRU would pick the fresh endpoint...
+    eps[0].last_active_ns = cluster.sim.now
+    cluster.run_process(drv.write_fault(eps[2]), "f2")
+    cluster.run(until=cluster.sim.now + ms(40))
+    # ...but hysteresis vetoes it and the seasoned one is evicted.
+    assert eps[0].residency is Residency.ONHOST_RO
+    assert eps[1].resident
+    assert drv.scoreboard.hysteresis_vetoes >= 1
+
+
+def test_hysteresis_yields_when_every_candidate_is_fresh():
+    """All-fresh candidates: protection must yield, not deadlock."""
+    cluster = build(endpoint_frames=2, replacement_policy="lru",
+                    eviction_hysteresis_us=1_000_000.0)
+    drv = cluster.node(0).driver
+    eps = resident_pair(cluster, drv)
+    cluster.run_process(drv.write_fault(eps[2]), "f3")
+    cluster.run(until=cluster.sim.now + ms(40))
+    assert eps[2].resident  # the remap still happened
+
+
+# ======================================================= residency scoreboard
+def test_scoreboard_counts_remaps_and_evictions():
+    cluster = build(endpoint_frames=2)
+    drv = cluster.node(0).driver
+    eps = resident_pair(cluster, drv)
+    cluster.run_process(drv.write_fault(eps[2]), "f3")
+    cluster.run(until=cluster.sim.now + ms(40))
+    sb = drv.scoreboard
+    assert sb.remaps == drv.stats.remaps == 3
+    assert sb.evictions == 1
+    assert sb.eviction_remap_ratio == pytest.approx(1 / 3)
+    snap = sb.snapshot()
+    assert snap["remaps"] == 3 and snap["evictions"] == 1
+    assert snap["max_ep_evictions"] == 1
+
+
+def test_eviction_bounce_scored_on_prompt_refault():
+    """An evict->refault inside thrash_bounce_us counts as thrash."""
+    cluster = build(endpoint_frames=2, thrash_bounce_us=10_000.0)
+    drv = cluster.node(0).driver
+    ep = alloc(cluster, 0)
+    cluster.run_process(drv.write_fault(ep), "f")
+    cluster.run(until=cluster.sim.now + ms(20))
+    assert ep.resident
+    assert drv.force_evict(ep)
+    cluster.run(until=cluster.sim.now + ms(5))
+    assert not ep.resident
+    drv.request_remap(ep)  # immediately re-requested: a bounce
+    assert drv.scoreboard.bounced_evictions == 1
+    cluster.run(until=cluster.sim.now + ms(40))
+    assert ep.resident
+    assert drv.scoreboard.thrash_score > 0.0
+
+
+def test_slow_refault_is_not_a_bounce():
+    cluster = build(endpoint_frames=2, thrash_bounce_us=1_000.0)
+    drv = cluster.node(0).driver
+    ep = alloc(cluster, 0)
+    cluster.run_process(drv.write_fault(ep), "f")
+    cluster.run(until=cluster.sim.now + ms(20))
+    assert drv.force_evict(ep)
+    cluster.run(until=cluster.sim.now + ms(30))  # well past the window
+    drv.request_remap(ep)
+    assert drv.scoreboard.bounced_evictions == 0
+
+
+def test_new_residency_knobs_validate():
+    import pytest
+
+    with pytest.raises(ValueError, match="eviction_hysteresis_us"):
+        ClusterConfig(eviction_hysteresis_us=-1.0).validate()
+    with pytest.raises(ValueError, match="thrash_window"):
+        ClusterConfig(thrash_window=0).validate()
+    with pytest.raises(ValueError, match="thrash_bounce_us"):
+        ClusterConfig(thrash_bounce_us=-0.5).validate()
+    with pytest.raises(ValueError, match="unknown replacement policy"):
+        ClusterConfig(replacement_policy="fifo").validate()
+
+
+def test_api_facade_lists_policies():
+    from repro.api import replacement_policies
+
+    assert replacement_policies() == sorted(replacement_policies())
+    assert {"random", "lru", "clock", "active-preference"} <= set(replacement_policies())
