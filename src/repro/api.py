@@ -89,7 +89,8 @@ class Cluster(_BuilderCluster):
         return False
 
     def shutdown(self) -> None:
-        """Free every still-registered endpoint on live nodes."""
+        """Free every still-registered endpoint on live nodes, then unplug
+        every NIC from the fabric so no rx handler outlives the cluster."""
 
         def teardown() -> Generator:
             for node in self.nodes:
@@ -99,6 +100,9 @@ class Cluster(_BuilderCluster):
                     yield from node.driver.free_endpoint(ep_state)
 
         self.sim.run_process(teardown(), name="api.shutdown")
+        for node in self.nodes:
+            if self.network.attached(node.nic.nic_id):
+                self.network.detach(node.nic.nic_id)
 
 
 class Session:

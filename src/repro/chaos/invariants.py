@@ -34,6 +34,13 @@ messages awaiting rebind, no receive-side staging or bulk DMA in flight,
 and every registered endpoint's rings and queues empty.  A paused or
 unfinished workload thread is likewise a violation — the run must end
 with nothing armed, nothing blocked, nothing in flight.
+
+**Drop accounting.**  Every fabric drop the network counted
+(``NetworkStats.dropped_{loss,linkdown,noroute,dead_nic}``) must have a
+matching ``net.drop`` trace event with that reason, and vice versa.
+Chaos runs always trace, so a mismatch means a drop site bumped a
+counter without emitting (or emitted without counting) — the kind of
+silent-loss bug the delivery contract exists to rule out.
 """
 
 from __future__ import annotations
@@ -46,7 +53,11 @@ if TYPE_CHECKING:
     from ..obs.events import TraceEvent
     from .workloads import ChaosWorkload
 
-__all__ = ["Violation", "DeliveryChecker", "check_quiescence"]
+__all__ = ["Violation", "DeliveryChecker", "check_drop_accounting",
+           "check_quiescence"]
+
+#: the fabric's drop-reason vocabulary (NetworkStats.dropped_* fields)
+_DROP_REASONS = ("loss", "linkdown", "noroute", "dead_nic")
 
 #: msg.return reasons that may coexist with a delivery (see module doc)
 _DELIVERED_AND_RETURNED_OK = {"timeout", "reboot", "NO_ENDPOINT"}
@@ -195,6 +206,35 @@ class DeliveryChecker:
                         f"(bound earlier) after msg {m0} (bound later)",
                         m1, self.events[d1].ts))
         return out
+
+
+def check_drop_accounting(network, events: Iterable["TraceEvent"]) -> list[Violation]:
+    """Per-reason ``net.drop`` trace counts must equal NetworkStats counters.
+
+    Requires the run to have been fully traced (chaos runs always are);
+    with tracing off the emits are elided by design and this check does
+    not apply.
+    """
+    out: list[Violation] = []
+    traced = {r: 0 for r in _DROP_REASONS}
+    for ev in events:
+        if ev.kind != "net.drop":
+            continue
+        reason = ev.get("reason")
+        if reason in traced:
+            traced[reason] += 1
+        else:
+            out.append(Violation(
+                "D.reason", f"net.drop event with unclassified reason {reason!r}",
+                msg_id=ev.get("msg"), ts=ev.ts))
+    for reason in _DROP_REASONS:
+        counted = getattr(network.stats, f"dropped_{reason}")
+        if counted != traced[reason]:
+            out.append(Violation(
+                "D.mismatch",
+                f"network counted {counted} {reason!r} drop(s) but the trace "
+                f"has {traced[reason]} net.drop event(s) with that reason"))
+    return out
 
 
 def check_quiescence(cluster: "Cluster",

@@ -30,7 +30,8 @@ from typing import Generator, Optional
 from ..cluster.builder import Cluster
 from ..cluster.config import ClusterConfig
 from ..sim.core import AllOf, SimError
-from .invariants import DeliveryChecker, Violation, check_quiescence
+from .invariants import (DeliveryChecker, Violation, check_drop_accounting,
+                         check_quiescence)
 from .schedule import FaultAction, Scenario
 from .workloads import ChaosWorkload, make_workload
 
@@ -264,7 +265,9 @@ def run_chaos(
     events = bus.events
     checker = DeliveryChecker(events)
     report.violations += checker.check()
+    report.violations += check_drop_accounting(cluster.network, events)
     report.violations += check_quiescence(cluster, wl)
+    bus.publish_network(cluster.network)
 
     report.sim_ns = sim.now
     report.events = len(events)

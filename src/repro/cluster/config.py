@@ -260,6 +260,17 @@ class ClusterConfig:
     #: thread synchronously until the endpoint is resident
     enable_onhost_rw: bool = True
 
+    # ---------------------------------------------------------- express path
+    #: elide the per-hop wormhole simulation for provably uncontended
+    #: packets: when every link on a cached route is idle through the
+    #: packet's whole occupancy window, tracing is off and no fault has
+    #: fired, delivery collapses to one scheduled callback with identical
+    #: timing, stats and link accounting (see repro.myrinet.network and
+    #: DESIGN.md "The express path").  Purely an execution-speed knob —
+    #: timelines are bit-identical either way, which repro.bench.perf's
+    #: net_burst oracle enforces in CI.
+    express_path: bool = True
+
     # --------------------------------------------------------------- faults
     #: transient packet loss probability (transmission errors are rare on
     #: Myrinet; raise this in robustness tests)

@@ -45,7 +45,14 @@ class FaultInjector:
         self.log: list[tuple[int, str]] = []
 
     def _note(self, what: str, *, action: str, scope: str, node: int = -1, **args) -> None:
-        """Record one injection: legacy list + normalized bus event."""
+        """Record one injection: legacy list + normalized bus event.
+
+        Every injection funnels through here, so this is also where the
+        express delivery path learns a fault family is live and drops to
+        full-fidelity wormhole simulation for the rest of the run (see
+        Network.on_fault).
+        """
+        self.network.on_fault()
         self.log.append((self.sim.now, what))
         if self.sim.trace.enabled:
             self.sim.trace.emit("fault.inject", node, what=what, action=action,

@@ -5,9 +5,20 @@ A physical Myrinet cable is full duplex; we model it as two independent
 can be administratively taken down (hot-swap experiments, Section 3.2);
 packets in flight on a downed link are lost and the transport protocol is
 expected to mask the loss.
+
+Express-path bookkeeping (see :mod:`repro.myrinet.network`): the fabric
+registers an ``on_state_change`` hook so *any* administrative flip of
+``up`` — whether through :class:`~repro.myrinet.fault.FaultInjector` or a
+test poking the attribute directly — invalidates cached routes and
+revokes committed express flights before the new state can be observed
+inconsistently.  ``busy_until`` / ``express_flight`` record the occupancy
+window an express delivery has claimed without acquiring the port
+resource; the slow path never consults them.
 """
 
 from __future__ import annotations
+
+from typing import Any, Callable, Optional
 
 from ..sim.core import Simulator
 from ..sim.resources import Resource
@@ -22,11 +33,29 @@ class DirectedLink:
         self.sim = sim
         self.name = name
         self.byte_ns = byte_ns
-        self.up = True
+        self._up = True
         self._port = Resource(sim, capacity=1, name=f"{name}.port")
         self.bytes_carried = 0
         self.packets_carried = 0
         self.busy_ns = 0
+        #: end of the occupancy window a committed express flight has
+        #: claimed on this link (0 = none); maintained by the Network
+        self.busy_until = 0
+        #: the express flight currently claiming this link, if any
+        self.express_flight: Optional[Any] = None
+        #: fabric hook fired on every administrative up/down flip
+        self.on_state_change: Optional[Callable[["DirectedLink"], None]] = None
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        changed = value != self._up
+        self._up = value
+        if changed and self.on_state_change is not None:
+            self.on_state_change(self)
 
     def wire_ns(self, nbytes: int) -> int:
         return round(nbytes * self.byte_ns)
@@ -35,8 +64,16 @@ class DirectedLink:
         """Contend for the link head; FIFO order."""
         return self._port.acquire()
 
+    def try_acquire(self) -> bool:
+        return self._port.try_acquire()
+
     def release(self) -> None:
         self._port.release()
+
+    @property
+    def idle(self) -> bool:
+        """No holder, no queue, and no express occupancy claim."""
+        return self._port.idle and self.express_flight is None
 
     def account(self, nbytes: int, busy_ns: int) -> None:
         self.bytes_carried += nbytes

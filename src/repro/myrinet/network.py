@@ -10,21 +10,52 @@ destination NI.
 
 Fault hooks (loss, corruption, link/switch down, node crash) are consulted
 on every traversal; see :mod:`repro.myrinet.fault`.
+
+The express path (DESIGN.md, "The express path")
+------------------------------------------------
+
+An *uncontended* route is a fixed, precomputable latency: the per-hop
+wormhole process exists to model contention, and when there is provably
+none it dispatches ~2L+1 kernel events per packet to compute a number
+known at send time.  ``Network.send`` therefore commits an **express
+flight** — one pooled callback at the precomputed tail-arrival time —
+whenever all of the following hold:
+
+* ``cfg.express_path`` is on and no fault has fired this run (any
+  injection, or any direct flip of a link/switch ``up`` attribute,
+  permanently disables the path and demotes committed flights);
+* hop-level tracing is off (``sim.trace.enabled``), so the elided
+  ``sim.spawn``/``sim.exit`` events are unobservable;
+* no wormhole process is in flight anywhere in the fabric, and every
+  link on the (cached) route is idle with no express occupancy claim.
+
+Soundness rests on *revocation*: a committed flight's timeline is only
+valid while its links stay untouched, so any later send whose route
+intersects a flight's links first **revokes** the flight — the delivery
+callback is canceled and the flight is replayed as a wormhole process
+holding exactly the links, accounting and pending releases the slow path
+would have at that instant (`_revoke`/`_resume_traverse`).  Because
+revocation runs before the new packet touches any port, FIFO acquisition
+order is preserved and the flight's links are guaranteed re-acquirable.
+Delivery timestamps, ``NetworkStats`` and per-link accounting are
+bit-identical between modes; ``repro.bench.perf``'s net_burst oracle
+enforces this in CI.  Express bookkeeping lives in the separate
+:class:`ExpressStats` so ``NetworkStats`` stays mode-invariant.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..cluster.config import ClusterConfig
-from ..sim.core import Simulator
+from ..sim.core import SimError, Simulator
 from ..sim.rng import RngStreams
 from .link import DirectedLink
 from .packet import Packet
 from .topology import FatTreeTopology
 
-__all__ = ["Network", "NetworkStats"]
+__all__ = ["Network", "NetworkStats", "ExpressStats"]
 
 
 @dataclass
@@ -38,6 +69,63 @@ class NetworkStats:
     bytes_delivered: int = 0
 
 
+@dataclass
+class ExpressStats:
+    """Express-path bookkeeping — deliberately *not* part of
+    :class:`NetworkStats`, which must be identical across modes."""
+
+    #: flights committed (single-callback deliveries scheduled)
+    commits: int = 0
+    #: flights that reached their delivery callback un-revoked
+    delivered: int = 0
+    #: loopback sends elided to one callback
+    loopback: int = 0
+    #: flights demoted back to wormhole processes by a conflicting send
+    #: or a fault
+    revoked: int = 0
+    #: sends that fell back because a route link was occupied or claimed
+    fallback_busy: int = 0
+    #: sends that fell back because wormhole processes were in flight
+    fallback_active: int = 0
+
+    def hits(self) -> int:
+        return self.commits + self.loopback
+
+    def fallbacks(self) -> int:
+        return self.fallback_busy + self.fallback_active
+
+
+class _ExpressFlight:
+    """A committed express delivery: a precomputed wormhole timeline.
+
+    ``acquire_at(j)`` / ``free_at(j)`` reproduce exactly when the slow
+    path would acquire and release link ``j`` on an uncontended route;
+    :meth:`Network._revoke` uses them to reconstruct mid-flight wormhole
+    state when the flight must be demoted.
+    """
+
+    __slots__ = ("pkt", "route", "nbytes", "t0", "hop_ns", "tail_at", "entry")
+
+    def __init__(self, pkt: Packet, route: list[DirectedLink], nbytes: int,
+                 t0: int, hop_ns: int):
+        self.pkt = pkt
+        self.route = route
+        self.nbytes = nbytes
+        self.t0 = t0
+        self.hop_ns = hop_ns
+        self.tail_at = t0 + (len(route) - 1) * hop_ns + route[-1].wire_ns(nbytes)
+        self.entry: Optional[list] = None  # delivery heap entry (cancelable)
+
+    def acquire_at(self, j: int) -> int:
+        return self.t0 + j * self.hop_ns
+
+    def free_at(self, j: int) -> int:
+        if j == len(self.route) - 1:
+            return self.tail_at
+        return max(self.acquire_at(j + 1),
+                   self.acquire_at(j) + self.route[j].wire_ns(self.nbytes))
+
+
 class Network:
     """Connects NICs through a :class:`FatTreeTopology`."""
 
@@ -46,20 +134,52 @@ class Network:
         self.cfg = cfg
         self.topology = FatTreeTopology(sim, cfg)
         self.rng = (rngs or RngStreams(cfg.seed)).stream("network.fault")
-        self._rx_handlers: dict[int, Callable[[Packet], None]] = {}
+        #: flattened rx dispatch: slot per NIC id (None = not attached)
+        self._rx: list[Optional[Callable[[Packet], None]]] = [None] * cfg.num_hosts
         self._dead_nics: set[int] = set()
         self.stats = NetworkStats()
+        self.express = ExpressStats()
         #: loopback delivery cost (NI-internal, no wire)
         self.loopback_ns = cfg.lanai_ns(40)
+        #: per-hop head advance: cut-through + cable + header serialization
+        self._hop_ns = (cfg.switch_latency_ns + cfg.cable_latency_ns
+                        + round(cfg.packet_header_bytes * cfg.link_byte_ns))
+        #: express engages only until the first fault/reconfiguration
+        self._express_enabled = bool(cfg.express_path)
+        self._flights: list[_ExpressFlight] = []
+        #: wormhole (non-loopback) traversal processes currently alive
+        self._slow_active = 0
+        # Observe every administrative state flip, however it happens.
+        for sw in self.topology.switches:
+            sw.on_state_change = self._fabric_changed
+        for link in self.topology.all_links:
+            link.on_state_change = self._fabric_changed
 
     # ------------------------------------------------------------ wiring
     def attach(self, nic_id: int, rx_handler: Callable[[Packet], None]) -> None:
         """Register the receive handler for a NIC (called on tail arrival)."""
-        if nic_id in self._rx_handlers:
-            raise ValueError(f"NIC {nic_id} already attached")
         if not (0 <= nic_id < self.cfg.num_hosts):
             raise ValueError(f"NIC id {nic_id} out of range")
-        self._rx_handlers[nic_id] = rx_handler
+        if self._rx[nic_id] is not None:
+            raise ValueError(f"NIC {nic_id} already attached")
+        self._rx[nic_id] = rx_handler
+
+    def detach(self, nic_id: int) -> None:
+        """Unregister a NIC's receive handler (inverse of :meth:`attach`).
+
+        Crash/reboot cycles and session teardown use this so handlers
+        are never leaked and a rebooted NIC can re-attach.  Packets in
+        flight to a detached NIC are dropped at delivery exactly like
+        packets to a dead NIC.
+        """
+        if not (0 <= nic_id < self.cfg.num_hosts):
+            raise ValueError(f"NIC id {nic_id} out of range")
+        if self._rx[nic_id] is None:
+            raise ValueError(f"NIC {nic_id} not attached")
+        self._rx[nic_id] = None
+
+    def attached(self, nic_id: int) -> bool:
+        return 0 <= nic_id < self.cfg.num_hosts and self._rx[nic_id] is not None
 
     def set_nic_dead(self, nic_id: int, dead: bool = True) -> None:
         """Mark a NIC crashed: packets addressed to it vanish."""
@@ -67,6 +187,29 @@ class Network:
             self._dead_nics.add(nic_id)
         else:
             self._dead_nics.discard(nic_id)
+
+    # ----------------------------------------------------- express control
+    @property
+    def express_active(self) -> bool:
+        """True while the express path may still commit flights."""
+        return self._express_enabled
+
+    def on_fault(self) -> None:
+        """Any fault injection permanently disables the express path for
+        the rest of the run and demotes committed flights to wormhole
+        processes (conservative: the equivalence argument then holds
+        trivially for everything that happens after the injection)."""
+        if self._express_enabled:
+            self._express_enabled = False
+            while self._flights:
+                self._revoke(self._flights[0])
+
+    def _fabric_changed(self, _obj) -> None:
+        # A switch or link flipped state (fault injector or a test poking
+        # ``.up`` directly): cached routes are stale and every committed
+        # flight's timeline is suspect.
+        self.topology.mark_dirty()
+        self.on_fault()
 
     # ------------------------------------------------------------- sending
     def send(self, pkt: Packet) -> None:
@@ -80,8 +223,134 @@ class Network:
             return
         if self.cfg.packet_corrupt_prob and self.rng.random() < self.cfg.packet_corrupt_prob:
             pkt.corrupted = True
+        if self._express_enabled and not self.sim.trace.enabled and self._try_express(pkt):
+            return
+        if pkt.src_nic == pkt.dst_nic:
+            self.sim.spawn(self._traverse_loopback(pkt), name=f"pkt{pkt.xmit_id}")
+            return
+        # Counted *before* the process first runs so a same-tick express
+        # attempt cannot miss it.
+        self._slow_active += 1
         self.sim.spawn(self._traverse(pkt), name=f"pkt{pkt.xmit_id}")
 
+    # ------------------------------------------------------- express path
+    def _try_express(self, pkt: Packet) -> bool:
+        sim = self.sim
+        if pkt.src_nic == pkt.dst_nic:
+            sim.call_after(self.loopback_ns, self._express_loopback, pkt)
+            self.express.loopback += 1
+            return True
+        route = self.topology.cached_route(pkt.src_nic, pkt.dst_nic, pkt.channel)
+        if route is None:
+            return False  # slow path owns the noroute drop accounting
+        # A committed flight claiming any link on this route must be
+        # demoted first: the new packet may contend, which its frozen
+        # timeline cannot absorb.  Revoking *before* this packet touches
+        # any port preserves FIFO acquisition order.
+        for link in route:
+            if link.express_flight is not None:
+                self._revoke(link.express_flight)
+        if self._slow_active:
+            self.express.fallback_active += 1
+            return False
+        now = sim.now
+        for link in route:
+            if not link._port.idle or link.busy_until > now:
+                self.express.fallback_busy += 1
+                return False
+        nbytes = pkt.wire_bytes(self.cfg.packet_header_bytes)
+        fl = _ExpressFlight(pkt, route, nbytes, now, self._hop_ns)
+        for j, link in enumerate(route):
+            link.express_flight = fl
+            link.busy_until = fl.free_at(j)
+        fl.entry = sim.call_after(fl.tail_at - now, self._express_fire, fl)
+        self._flights.append(fl)
+        self.express.commits += 1
+        return True
+
+    def _express_loopback(self, pkt: Packet) -> None:
+        # A blocked receive FIFO has no upstream link to backpressure on
+        # loopback, so a pending waitable is simply not waited on — the
+        # slow path's waiting process has no further effects either.
+        self._deliver(pkt)
+
+    def _express_fire(self, fl: _ExpressFlight) -> None:
+        """The single delivery callback of an un-revoked flight."""
+        self._flights.remove(fl)
+        route, nbytes = fl.route, fl.nbytes
+        for link in route:
+            link.express_flight = None
+            link.busy_until = 0
+        last_j = len(route) - 1
+        # Per-link accounting in exactly the slow path's amounts.
+        for j in range(last_j):
+            route[j].account(nbytes, fl.free_at(j) - fl.acquire_at(j))
+        pending = self._deliver(fl.pkt)
+        last = route[last_j]
+        if pending is None:
+            last.account(nbytes, self.sim.now - fl.acquire_at(last_j))
+        else:
+            # Receive FIFO full: hold the last link for real until the
+            # NIC drains, so congestion backs into the fabric exactly
+            # like the wormhole path ("congestion rapidly spreads").
+            if not last.try_acquire():
+                raise SimError(f"express flight lost its tail link {last.name}")
+            self.sim.spawn(self._express_drain(fl, last, pending),
+                           name=f"pkt{fl.pkt.xmit_id}")
+        self.express.delivered += 1
+
+    def _express_drain(self, fl: _ExpressFlight, last: DirectedLink, pending):
+        yield pending
+        last.account(fl.nbytes, self.sim.now - fl.acquire_at(len(fl.route) - 1))
+        last.release()
+
+    def _revoke(self, fl: _ExpressFlight) -> None:
+        """Demote a committed flight to a wormhole process, reconstructing
+        exactly the state the slow path would be in right now: links the
+        virtual head has exited are accounted (and, while still inside
+        their occupancy window, re-held with their release pre-scheduled);
+        the link the head currently occupies is re-acquired and a
+        continuation process resumes the traversal mid-hop."""
+        sim = self.sim
+        fl.entry[3] = None  # cancel the pending delivery callback
+        fl.entry = None
+        self._flights.remove(fl)
+        route, nbytes = fl.route, fl.nbytes
+        for link in route:
+            link.express_flight = None
+            link.busy_until = 0
+        now = sim.now
+        m = min((now - fl.t0) // fl.hop_ns, len(route) - 1)
+        acquired_at = [fl.acquire_at(j) for j in range(m + 1)]
+        for j in range(m):
+            fa = fl.free_at(j)
+            route[j].account(nbytes, fa - fl.acquire_at(j))
+            if fa > now:
+                if not route[j].try_acquire():
+                    raise SimError(f"express flight lost held link {route[j].name}")
+                sim.call_after(fa - now, route[j].release)
+        if not route[m].try_acquire():
+            raise SimError(f"express flight lost head link {route[m].name}")
+        self._slow_active += 1
+        self.express.revoked += 1
+        sim.spawn(self._resume_traverse(fl, m, acquired_at), name=f"pkt{fl.pkt.xmit_id}")
+
+    def _resume_traverse(self, fl: _ExpressFlight, m: int, acquired_at: list[int]):
+        route = fl.route
+        held = [route[m]]
+        try:
+            if m < len(route) - 1:
+                # The wormhole would be mid-hop: inside the timeout begun
+                # when link m was acquired.
+                wake = fl.acquire_at(m) + fl.hop_ns
+                if wake > self.sim.now:
+                    yield self.sim.timeout(wake - self.sim.now)
+            yield from self._run_route(fl.pkt, route, fl.nbytes, m + 1,
+                                       acquired_at, held)
+        finally:
+            self._slow_active -= 1
+
+    # ----------------------------------------------------------- delivery
     def _deliver(self, pkt: Packet):
         """Hand a packet to the destination NIC.
 
@@ -96,9 +365,12 @@ class Network:
                 self.sim.trace.emit("net.drop", pkt.dst_nic, msg=pkt.msg_id,
                                     src=pkt.src_nic, reason="dead_nic")
             return None
-        handler = self._rx_handlers.get(pkt.dst_nic)
+        handler = self._rx[pkt.dst_nic]
         if handler is None:
             self.stats.dropped_dead_nic += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("net.drop", pkt.dst_nic, msg=pkt.msg_id,
+                                    src=pkt.src_nic, reason="dead_nic")
             return None
         self.stats.delivered += 1
         self.stats.bytes_delivered += pkt.payload_bytes
@@ -108,24 +380,36 @@ class Network:
                                 nbytes=pkt.payload_bytes)
         return handler(pkt)
 
-    def _traverse(self, pkt: Packet):
-        sim, cfg = self.sim, self.cfg
-        if pkt.src_nic == pkt.dst_nic:
-            yield sim.timeout(self.loopback_ns)
-            pending = self._deliver(pkt)
-            if pending is not None:
-                yield pending
-            return
-        route = self.topology.route(pkt.src_nic, pkt.dst_nic, pkt.channel)
-        if route is None:
-            self.stats.dropped_noroute += 1
-            return
-        nbytes = pkt.wire_bytes(cfg.packet_header_bytes)
-        header_ns = round(cfg.packet_header_bytes * cfg.link_byte_ns)
-        hop_ns = cfg.switch_latency_ns + cfg.cable_latency_ns + header_ns
+    # ------------------------------------------------------ wormhole path
+    def _traverse_loopback(self, pkt: Packet):
+        yield self.sim.timeout(self.loopback_ns)
+        pending = self._deliver(pkt)
+        if pending is not None:
+            yield pending
 
-        acquired_at: list[int] = []
-        held: list[DirectedLink] = []
+    def _traverse(self, pkt: Packet):
+        try:
+            route = self.topology.cached_route(pkt.src_nic, pkt.dst_nic, pkt.channel)
+            if route is None:
+                self.stats.dropped_noroute += 1
+                if self.sim.trace.enabled:
+                    self.sim.trace.emit("net.drop", pkt.dst_nic, msg=pkt.msg_id,
+                                        src=pkt.src_nic, reason="noroute")
+                return
+            nbytes = pkt.wire_bytes(self.cfg.packet_header_bytes)
+            yield from self._run_route(pkt, route, nbytes, 0, [], [])
+        finally:
+            self._slow_active -= 1
+
+    def _run_route(self, pkt: Packet, route: list[DirectedLink], nbytes: int,
+                   start: int, acquired_at: list[int], held: list[DirectedLink]):
+        """The wormhole traversal loop from hop ``start`` onward.
+
+        ``acquired_at``/``held`` carry prior-hop state so a revoked
+        express flight can resume mid-route with identical behaviour.
+        """
+        sim = self.sim
+        hop_ns = self._hop_ns
 
         def fail_cleanup() -> None:
             for link in held:
@@ -135,7 +419,8 @@ class Network:
                 self.sim.trace.emit("net.drop", pkt.dst_nic, msg=pkt.msg_id,
                                     src=pkt.src_nic, reason="linkdown")
 
-        for i, link in enumerate(route):
+        for i in range(start, len(route)):
+            link = route[i]
             yield link.acquire()
             if not link.up:
                 link.release()
@@ -180,6 +465,4 @@ class Network:
         route = self.topology.route(src, dst, 0)
         if route is None:
             raise ValueError("no route")
-        header_ns = round(self.cfg.packet_header_bytes * self.cfg.link_byte_ns)
-        hop_ns = self.cfg.switch_latency_ns + self.cfg.cable_latency_ns + header_ns
-        return (len(route) - 1) * hop_ns + route[-1].wire_ns(nbytes_on_wire)
+        return (len(route) - 1) * self._hop_ns + route[-1].wire_ns(nbytes_on_wire)

@@ -18,6 +18,11 @@ __all__ = ["PacketType", "NackReason", "Packet"]
 
 _packet_ids = itertools.count(1)
 
+#: recycled Packet shells (see Packet.alloc/recycle); bounded so a burst
+#: can't pin memory forever
+_pool: list["Packet"] = []
+_POOL_MAX = 512
+
 
 class PacketType(Enum):
     DATA = "data"
@@ -85,6 +90,49 @@ class Packet:
     def wire_bytes(self, header_bytes: int) -> int:
         """Total bytes this packet occupies on a link."""
         return header_bytes + max(0, self.payload_bytes)
+
+    # ---------------------------------------------------------- pooling
+    @classmethod
+    def alloc(cls, src_nic: int, dst_nic: int, kind: "PacketType", **kw) -> "Packet":
+        """A packet from the free list, observationally fresh.
+
+        Every field is reset to its dataclass default and ``xmit_id`` is
+        drawn from the same counter the constructor uses, so a recycled
+        packet is indistinguishable from a newly constructed one —
+        pooling is purely an allocation-rate optimization.  Callers that
+        recycle must guarantee the receiver does not retain the object
+        (the ACK/NACK protocol paths in :mod:`repro.nic.firmware` do).
+        """
+        if _pool:
+            p = _pool.pop()
+            p.src_nic = src_nic
+            p.dst_nic = dst_nic
+            p.kind = kind
+            p.channel = 0
+            p.seq = 0
+            p.epoch = 0
+            p.timestamp = 0
+            p.payload_bytes = 0
+            p.dst_endpoint = -1
+            p.src_endpoint = -1
+            p.is_reply = False
+            p.is_bulk = False
+            p.key = 0
+            p.msg_id = 0
+            p.nack_reason = None
+            p.piggyback_ack = None
+            p.body = None
+            p.corrupted = False
+            p.xmit_id = next(_packet_ids)
+            for k, v in kw.items():
+                setattr(p, k, v)
+            return p
+        return cls(src_nic, dst_nic, kind, **kw)
+
+    def recycle(self) -> None:
+        """Return a dead packet to the free list (owner's responsibility)."""
+        if len(_pool) < _POOL_MAX:
+            _pool.append(self)
 
     def __repr__(self) -> str:  # compact for traces
         extra = f" nack={self.nack_reason.value}" if self.nack_reason else ""

@@ -4,24 +4,51 @@ Contention and latency are modelled at the links (see
 :mod:`repro.myrinet.network`); the :class:`Switch` object carries identity,
 level, and administrative state so topology reconfiguration (hot-swap,
 Section 3.2) has something to operate on.
+
+``up`` is a property so the fabric can observe administrative flips (the
+express path must invalidate its route cache when a switch changes state,
+even when a test toggles the attribute directly rather than going through
+the fault injector).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 __all__ = ["Switch"]
 
 
-@dataclass
 class Switch:
     """One crossbar switch in the fabric."""
 
-    switch_id: int
-    level: str  # "leaf" or "spine"
-    up: bool = True
-    #: ids of hosts attached (leaf switches only)
-    hosts: list[int] = field(default_factory=list)
+    __slots__ = ("switch_id", "level", "_up", "hosts", "on_state_change")
+
+    def __init__(self, switch_id: int, level: str, up: bool = True,
+                 hosts: Optional[list[int]] = None):
+        self.switch_id = switch_id
+        self.level = level  # "leaf" or "spine"
+        self._up = up
+        #: ids of hosts attached (leaf switches only)
+        self.hosts: list[int] = hosts if hosts is not None else []
+        #: fabric hook fired on every administrative up/down flip
+        self.on_state_change: Optional[Callable[["Switch"], None]] = None
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        changed = value != self._up
+        self._up = value
+        if changed and self.on_state_change is not None:
+            self.on_state_change(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Switch):
+            return NotImplemented
+        return (self.switch_id, self.level, self.up, self.hosts) == \
+               (other.switch_id, other.level, other.up, other.hosts)
 
     def __repr__(self) -> str:
         state = "up" if self.up else "DOWN"

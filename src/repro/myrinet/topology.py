@@ -28,6 +28,9 @@ from .switch import Switch
 
 __all__ = ["FatTreeTopology"]
 
+#: cache-miss sentinel (None is a legitimate cached value: "no route")
+_MISS: object = object()
+
 
 class FatTreeTopology:
     """Two-level Clos: hosts -- leaf switches -- spine switches."""
@@ -70,6 +73,13 @@ class FatTreeTopology:
             self.up_links.append([mk(f"l{leaf}->s{s}") for s in range(self.num_spines)])
         for s in range(self.num_spines):
             self.down_links.append([mk(f"s{s}->l{leaf}") for leaf in range(self.num_leaves)])
+
+        #: (src, dst, channel) -> hop list, valid only while no switch or
+        #: link has ever flipped state (see mark_dirty); routing is a pure
+        #: function of that state, so until the first flip a cached result
+        #: is exactly what route() would recompute
+        self._route_cache: dict[tuple[int, int, int], Optional[list[DirectedLink]]] = {}
+        self._fabric_dirty = False
 
     # ------------------------------------------------------------- queries
     def leaf_of(self, host: int) -> int:
@@ -121,6 +131,33 @@ class FatTreeTopology:
             if self.spine_switch(s).up and up.up and down.up:
                 return [first, up, down, last]
         return None
+
+    def mark_dirty(self) -> None:
+        """A switch or link changed state: stop serving cached routes.
+
+        Sticky by design: reconfiguration is rare (hot-swap experiments),
+        and a permanently cold cache after the first fault keeps the
+        invalidation logic trivially correct.
+        """
+        self._fabric_dirty = True
+        self._route_cache.clear()
+
+    def cached_route(self, src: int, dst: int, channel: int = 0) -> Optional[list[DirectedLink]]:
+        """Like :meth:`route` but memoized while the fabric is pristine.
+
+        Callers must not mutate the returned list.  After the first
+        administrative state flip this degrades to a plain route().
+        """
+        if self._fabric_dirty:
+            return self.route(src, dst, channel)
+        key = (src, dst, channel)
+        cache = self._route_cache
+        hit = cache.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
+        r = self.route(src, dst, channel)
+        cache[key] = r
+        return r
 
     def hop_count(self, src: int, dst: int) -> int:
         """Number of switches a packet traverses."""

@@ -202,6 +202,10 @@ class Nic:
         """Node failure: the NI stops processing and loses its state."""
         self.alive = False
         self.network.set_nic_dead(self.nic_id, True)
+        # Fully unplug from the fabric so crash/reboot cycles never leak
+        # rx handlers (reboot re-attaches).
+        if self.network.attached(self.nic_id):
+            self.network.detach(self.nic_id)
         while True:
             ok, _ = self._rx_store.try_get()
             if not ok:
@@ -209,6 +213,8 @@ class Nic:
 
     def reboot(self) -> None:
         """Restart with a new channel epoch; peers resynchronize (§5.1)."""
+        if not self.network.attached(self.nic_id):
+            self.network.attach(self.nic_id, self._on_wire_rx)
         self.alive = True
         self.epoch += 1
         for chans in self._tx_channels.values():
@@ -645,13 +651,17 @@ class Nic:
             if self.sim.trace.enabled:
                 self.sim.trace.emit("pkt.crc_drop", self.nic_id, msg=pkt.msg_id, peer=pkt.src_nic)
             yield self.sim.timeout(self.meter.cost_ns("crc_drop", cfg.ni_poll_ep_instr))
+            if pkt.kind is not PacketType.DATA:
+                pkt.recycle()
             return
         if pkt.kind is PacketType.DATA:
             yield from self._handle_data(pkt)
         elif pkt.kind is PacketType.ACK:
             yield from self._handle_ack(pkt)
+            pkt.recycle()
         elif pkt.kind is PacketType.NACK:
             yield from self._handle_nack(pkt)
+            pkt.recycle()
 
     def _handle_data(self, pkt: Packet):
         cfg = self.cfg
@@ -795,10 +805,10 @@ class Nic:
         if self.sim.trace.enabled:
             self.sim.trace.emit("ack.tx", self.nic_id, msg=pkt.msg_id, peer=pkt.src_nic)
         self.network.send(
-            Packet(
-                src_nic=self.nic_id,
-                dst_nic=pkt.src_nic,
-                kind=PacketType.ACK,
+            Packet.alloc(
+                self.nic_id,
+                pkt.src_nic,
+                PacketType.ACK,
                 channel=pkt.channel,
                 seq=pkt.seq,
                 epoch=pkt.epoch,
@@ -818,10 +828,10 @@ class Nic:
         if self.sim.trace.enabled:
             self.sim.trace.emit("ack.tx", self.nic_id, msg=msg_id, peer=peer, flushed=True)
         self.network.send(
-            Packet(
-                src_nic=self.nic_id,
-                dst_nic=peer,
-                kind=PacketType.ACK,
+            Packet.alloc(
+                self.nic_id,
+                peer,
+                PacketType.ACK,
                 channel=channel,
                 seq=seq,
                 epoch=epoch,
@@ -837,10 +847,10 @@ class Nic:
             self.sim.trace.emit("nack.tx", self.nic_id, msg=pkt.msg_id,
                                 peer=pkt.src_nic, reason=reason.name)
         self.network.send(
-            Packet(
-                src_nic=self.nic_id,
-                dst_nic=pkt.src_nic,
-                kind=PacketType.NACK,
+            Packet.alloc(
+                self.nic_id,
+                pkt.src_nic,
+                PacketType.NACK,
                 channel=pkt.channel,
                 seq=pkt.seq,
                 epoch=pkt.epoch,
@@ -852,13 +862,17 @@ class Nic:
 
     # -------------------------------------------------- ACK/NACK processing
     def _match_channel(self, pkt: Packet) -> Optional[TxChannel]:
-        chans = self._tx_channels.get(pkt.src_nic)
-        if chans is None or pkt.channel >= len(chans):
+        return self._match_channel_fields(pkt.src_nic, pkt.channel, pkt.epoch, pkt.msg_id)
+
+    def _match_channel_fields(self, peer: int, channel: int, epoch: int,
+                              msg_id: int) -> Optional[TxChannel]:
+        chans = self._tx_channels.get(peer)
+        if chans is None or channel >= len(chans):
             return None
-        ch = chans[pkt.channel]
-        if pkt.epoch != self.epoch:
+        ch = chans[channel]
+        if epoch != self.epoch:
             return None  # ack for a pre-reboot transmission
-        if ch.outstanding is None or ch.outstanding.msg_id != pkt.msg_id:
+        if ch.outstanding is None or ch.outstanding.msg_id != msg_id:
             return None
         return ch
 
@@ -872,9 +886,7 @@ class Nic:
             self.sim.trace.emit("ack.rx", self.nic_id, msg=msg_id, peer=peer, ch=channel)
         if self.cfg.enable_rtt_estimation:
             self._rtt_sample(peer, timestamp)
-        pseudo = Packet(src_nic=peer, dst_nic=self.nic_id, kind=PacketType.ACK,
-                        channel=channel, epoch=epoch, msg_id=msg_id)
-        ch = self._match_channel(pseudo)
+        ch = self._match_channel_fields(peer, channel, epoch, msg_id)
         if ch is not None:
             msg = ch.outstanding
             ch.outstanding = None

@@ -71,6 +71,13 @@ class TraceBus:
             del self.events[0 : len(self.events) - self.capacity]
             self.dropped += 1
         self.metrics.counter("events." + kind, node=node).inc()
+        if kind == "net.drop":
+            # Per-reason visibility (net.drop.loss/linkdown/noroute/
+            # dead_nic) so fabric drops are distinguishable without
+            # re-scanning the event list.
+            reason = args.get("reason")
+            if reason is not None:
+                self.metrics.counter(f"net.drop.{reason}", node=node).inc()
         for fn in self._subscribers:
             fn(ev)
 
@@ -85,6 +92,29 @@ class TraceBus:
                 pass
 
         return cancel
+
+    def publish_network(self, network) -> None:
+        """Snapshot fabric counters into the metric registry.
+
+        Publishes the per-reason drop totals from ``network.stats`` and
+        the express-path hit/fallback counters from ``network.express``
+        (which are kept out of ``NetworkStats`` so that structure stays
+        identical across express/full-fidelity modes).  Call after a run;
+        reading counters perturbs nothing.
+        """
+        m = self.metrics
+        s = network.stats
+        for reason in ("loss", "linkdown", "noroute", "dead_nic"):
+            c = m.counter(f"net.drop.{reason}.total")
+            c.value = getattr(s, f"dropped_{reason}")
+        x = network.express
+        m.counter("net.express.hits").value = x.hits()
+        m.counter("net.express.commits").value = x.commits
+        m.counter("net.express.loopback").value = x.loopback
+        m.counter("net.express.delivered").value = x.delivered
+        m.counter("net.express.revoked").value = x.revoked
+        m.counter("net.express.fallback.busy").value = x.fallback_busy
+        m.counter("net.express.fallback.active").value = x.fallback_active
 
     # -------------------------------------------------------------- queries
     def __len__(self) -> int:

@@ -497,6 +497,31 @@ class Simulator:
         _heappush(self._heap, entry)
         return _Handle(entry)
 
+    def call_after(self, delay: int, fn: Callable, *args: Any) -> list:
+        """Run ``fn(*args)`` after ``delay`` ns; pooled one-shot callback.
+
+        The hot-path sibling of :meth:`schedule`: the heap entry is
+        recycled after dispatch, so steady-state callers allocate
+        nothing.  Returns the raw entry; cancel by setting
+        ``entry[3] = None`` (the callback slot both kernels share) and
+        dropping the reference — a canceled entry is reclaimed when it
+        surfaces.  Unlike :meth:`schedule` there is no handle object, so
+        holders must not touch the entry after it may have fired.
+        """
+        if delay < 0:
+            raise SimError(f"cannot schedule in the past (delay={delay})")
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self.now + int(delay)
+            entry[1] = next(self._seq)
+            entry[2] = args
+            entry[3] = fn
+        else:
+            entry = [self.now + int(delay), next(self._seq), args, fn, True]
+        _heappush(self._heap, entry)
+        return entry
+
     def _post(self, fn: Callable, *args: Any) -> None:
         """Schedule at the current time (preserving FIFO order).
 

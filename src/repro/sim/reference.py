@@ -88,6 +88,18 @@ class ReferenceSimulator(Simulator):
     def _post(self, fn: Callable, *args: Any) -> None:
         self.schedule(0, fn, *args)
 
+    def call_after(self, delay: int, fn: Callable, *args: Any) -> list:
+        """One-shot callback with per-call allocation (no entry pool).
+
+        Same cancel protocol as the optimized kernel — ``entry[3] = None``
+        — since both kernels keep the callback in slot 3.
+        """
+        if delay < 0:
+            raise SimError(f"cannot schedule in the past (delay={delay})")
+        entry = [self.now + int(delay), next(self._seq), args, fn]
+        heapq.heappush(self._heap, entry)
+        return entry
+
     def spawn(self, gen: Generator, name: str = "") -> ReferenceProcess:
         proc = ReferenceProcess(self, gen, name=name)
         self._nprocesses += 1

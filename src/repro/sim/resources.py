@@ -40,6 +40,11 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._waiters)
 
+    @property
+    def idle(self) -> bool:
+        """True when no unit is held and nobody is queued."""
+        return self._in_use == 0 and not self._waiters
+
     def acquire(self) -> Event:
         ev = Event(self.sim, name=f"{self.name}.acquire")
         if self._in_use < self.capacity and not self._waiters:

@@ -1,0 +1,281 @@
+"""The express delivery path: elision, equivalence, revocation, fallback.
+
+The express path (``ClusterConfig.express_path``, on by default) must be
+*unobservable*: delivery timestamps, :class:`NetworkStats`, and per-link
+accounting are bit-identical whether a packet rode one pooled callback
+or the full per-hop wormhole process.  These tests drive the same
+deterministic traffic through both modes and diff everything observable,
+then poke each disengagement trigger (faults, direct ``up`` flips,
+tracing, contention) to pin the fallback machinery.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.myrinet import Network, Packet, PacketType
+from repro.obs import TraceBus
+from repro.sim import ReferenceSimulator, SimError, Simulator
+
+
+def make_net(n=8, express=True, **kw):
+    cfg = ClusterConfig(num_hosts=n, express_path=express, **kw)
+    sim = Simulator()
+    return sim, Network(sim, cfg), cfg
+
+
+def link_ledger(net):
+    """Every link's accounting totals, keyed by name."""
+    return {
+        link.name: (link.bytes_carried, link.packets_carried, link.busy_ns)
+        for link in net.topology.all_links
+    }
+
+
+def drive(net, sim, sends):
+    """Inject ``(at_ns, src, dst, nbytes)`` sends; return the delivery log."""
+    log = []
+    for i in range(net.cfg.num_hosts):
+        net.attach(i, lambda p: log.append((net.sim.now, p.src_nic,
+                                            p.dst_nic, p.msg_id)))
+    for k, (at, src, dst, nbytes) in enumerate(sends):
+        sim.schedule(at, net.send,
+                     Packet(src, dst, PacketType.DATA,
+                            payload_bytes=nbytes, msg_id=k + 1))
+    sim.run()
+    return log
+
+
+def both_modes(sends, n=8):
+    """Run the same send schedule express-on and express-off."""
+    sim1, net1, _ = make_net(n, express=True)
+    log1 = drive(net1, sim1, sends)
+    sim2, net2, _ = make_net(n, express=False)
+    log2 = drive(net2, sim2, sends)
+    return (sim1, net1, log1), (sim2, net2, log2)
+
+
+# ------------------------------------------------------------ equivalence
+def test_uncontended_send_is_express_and_identical():
+    sends = [(0, 0, 5, 64)]
+    (s1, n1, log1), (s2, n2, log2) = both_modes(sends)
+    assert log1 == log2
+    assert n1.stats == n2.stats
+    assert link_ledger(n1) == link_ledger(n2)
+    assert n1.express.commits == 1 and n1.express.delivered == 1
+    assert n2.express.hits() == 0
+    # the whole point: strictly fewer kernel events dispatched
+    assert s1.events_dispatched < s2.events_dispatched
+
+
+def test_contended_burst_identical_timings_and_accounting():
+    # staggered overlapping sends sharing links: commits, revocations
+    # and fallbacks all happen, and nothing observable may differ
+    sends = []
+    for k in range(12):
+        sends.append((k * 900, k % 8, (k + 3) % 8, 16 + 128 * (k % 4)))
+    sends += [(11_000, 1, 0, 8192), (11_200, 2, 0, 8192), (11_300, 3, 0, 64)]
+    (s1, n1, log1), (s2, n2, log2) = both_modes(sends)
+    assert log1 == log2
+    assert n1.stats == n2.stats
+    assert link_ledger(n1) == link_ledger(n2)
+    assert not n1._flights  # every flight fired or was demoted
+
+
+def test_revocation_preserves_delivery_times():
+    # first send commits an express flight; the second intersects its
+    # route mid-flight and must demote it without shifting its delivery
+    sends = [(0, 0, 1, 4096), (500, 2, 1, 64)]
+    (s1, n1, log1), (s2, n2, log2) = both_modes(sends)
+    assert n1.express.commits >= 1 and n1.express.revoked >= 1
+    assert log1 == log2
+    assert n1.stats == n2.stats
+    assert link_ledger(n1) == link_ledger(n2)
+
+
+def test_loopback_express_parity_and_cost():
+    sends = [(0, 3, 3, 32), (100, 3, 3, 0)]
+    (s1, n1, log1), (s2, n2, log2) = both_modes(sends)
+    assert log1 == log2
+    assert [t for t, *_ in log1] == [n1.loopback_ns, 100 + n1.loopback_ns]
+    assert n1.express.loopback == 2
+    assert n1.stats == n2.stats
+    assert n1.stats.delivered == 2 and n1.stats.sent == 2
+    assert n1.stats.bytes_delivered == n2.stats.bytes_delivered > 0
+
+
+def test_express_on_reference_kernel():
+    # the express path only needs schedule/spawn/call_after, which the
+    # un-optimized reference kernel also provides
+    cfg = ClusterConfig(num_hosts=8, express_path=True)
+    sim = ReferenceSimulator()
+    net = Network(sim, cfg)
+    seen = []
+    net.attach(0, lambda p: None)
+    net.attach(5, lambda p: seen.append(sim.now))
+    pkt = Packet(0, 5, PacketType.DATA, payload_bytes=16)
+    net.send(pkt)
+    sim.run()
+    assert net.express.commits == 1
+    assert seen == [net.min_latency_ns(0, 5, pkt.wire_bytes(cfg.packet_header_bytes))]
+
+
+# ------------------------------------------------------- disengagement
+def test_fault_injection_disables_express_permanently():
+    from repro.myrinet import FaultInjector
+
+    sim, net, _ = make_net(8)
+    assert net.express_active
+    FaultInjector(sim, net).set_loss(0.0)  # benign, still a fault event
+    assert not net.express_active
+    net.attach(0, lambda p: None)
+    net.attach(5, lambda p: None)
+    net.send(Packet(0, 5, PacketType.DATA))
+    sim.run()
+    assert net.express.hits() == 0  # slow path from then on
+
+
+def test_direct_up_flip_disables_express():
+    sim, net, _ = make_net(8)
+    net.topology.host_up[3].up = False  # a test poking the attribute
+    assert not net.express_active
+    sim2, net2, _ = make_net(8)
+    net2.topology.spine_switch(0).up = False
+    assert not net2.express_active
+
+
+def test_fault_mid_flight_demotes_committed_flight():
+    # commit a flight, inject a fault before its delivery callback: the
+    # flight is replayed as a wormhole process and still lands on time
+    sends = [(0, 0, 5, 2048)]
+    sim1, net1, _ = make_net(8)
+    from repro.myrinet import FaultInjector
+
+    fi = FaultInjector(sim1, net1)
+    sim1.schedule(600, fi.set_corruption, 0.0)
+    log1 = drive(net1, sim1, sends)
+    assert net1.express.commits == 1 and net1.express.revoked == 1
+
+    sim2, net2, _ = make_net(8, express=False)
+    log2 = drive(net2, sim2, sends)
+    assert log1 == log2
+    assert link_ledger(net1) == link_ledger(net2)
+
+
+def test_tracing_disables_express():
+    sim, net, _ = make_net(8)
+    TraceBus.attach(sim)
+    net.attach(0, lambda p: None)
+    net.attach(5, lambda p: None)
+    net.send(Packet(0, 5, PacketType.DATA))
+    sim.run()
+    assert net.express.hits() == 0
+    assert net.express_active  # not *disabled*, just never engaged
+    assert net.stats.delivered == 1
+
+
+def test_express_stats_are_not_part_of_network_stats():
+    from dataclasses import asdict
+
+    sim, net, _ = make_net(4)
+    assert "commits" not in asdict(net.stats)
+
+
+# ------------------------------------------------------ attach lifecycle
+def test_detach_and_reattach():
+    sim, net, _ = make_net(4)
+    net.attach(1, lambda p: None)
+    assert net.attached(1)
+    net.detach(1)
+    assert not net.attached(1)
+    net.attach(1, lambda p: None)  # regression: no "already attached"
+    with pytest.raises(ValueError):
+        net.detach(3)  # never attached
+    with pytest.raises(ValueError):
+        net.detach(99)  # out of range
+
+
+def test_crash_reboot_cycle_reattaches_cleanly():
+    """Regression: a crash/reboot/crash/reboot cycle used to raise
+    ValueError("NIC already attached") because crash never detached."""
+    from repro.cluster.builder import Cluster
+
+    cluster = Cluster(ClusterConfig(num_hosts=4))
+    nic = cluster.node(1).nic
+
+    def cycle():
+        for _ in range(2):
+            cluster.crash_node(1)
+            yield cluster.sim.timeout(1000)
+            cluster.reboot_node(1)
+            yield cluster.sim.timeout(1000)
+
+    cluster.run_process(cycle(), name="cycle")
+    assert nic.alive
+    assert cluster.network.attached(1)
+
+
+def test_session_close_detaches_all_nics():
+    from repro.api import Session
+
+    with Session(nodes=[0, 1], num_hosts=4) as s:
+        net = s.cluster.network
+        assert net.attached(0) and net.attached(1)
+    assert not any(net.attached(i) for i in range(4))
+
+
+# ------------------------------------------------------ drop observability
+def test_per_reason_drop_counters_on_bus():
+    sim, net, _ = make_net(8, packet_loss_prob=1.0)
+    bus = TraceBus.attach(sim)
+    net.attach(0, lambda p: None)
+    net.send(Packet(0, 5, PacketType.DATA))  # lost
+    sim.run()
+    net.cfg.packet_loss_prob = 0.0
+    net.topology.host_down[5].up = False
+    net.send(Packet(0, 5, PacketType.DATA))  # no route
+    sim.run()
+    net.set_nic_dead(3, True)
+    net.send(Packet(0, 3, PacketType.DATA))  # dead NIC
+    net.send(Packet(0, 6, PacketType.DATA))  # no handler attached
+    sim.run()
+    reasons = [ev.get("reason") for ev in bus.select("net.drop")]
+    assert reasons == ["loss", "noroute", "dead_nic", "dead_nic"]
+    assert bus.metrics.counter("net.drop.loss", node=0).value == 1
+    assert bus.metrics.counter("net.drop.noroute", node=5).value == 1
+    assert net.stats.dropped_dead_nic == 2
+
+    bus.publish_network(net)
+    assert bus.metrics.counter("net.drop.dead_nic.total").value == 2
+    assert bus.metrics.counter("net.drop.noroute.total").value == 1
+
+
+def test_chaos_checker_audits_drop_accounting():
+    from repro.chaos.invariants import check_drop_accounting
+
+    sim, net, _ = make_net(8, packet_loss_prob=1.0)
+    bus = TraceBus.attach(sim)
+    net.attach(0, lambda p: None)
+    net.attach(5, lambda p: None)
+    net.send(Packet(0, 5, PacketType.DATA))
+    sim.run()
+    assert check_drop_accounting(net, bus.events) == []
+    # cook the books: an uncounted drop must be flagged
+    net.stats.dropped_loss += 1
+    out = check_drop_accounting(net, bus.events)
+    assert len(out) == 1 and out[0].invariant == "D.mismatch"
+
+
+# ------------------------------------------------------------- sim kernel
+@pytest.mark.parametrize("factory", [Simulator, ReferenceSimulator])
+def test_call_after_fires_and_cancels(factory):
+    sim = factory()
+    hits = []
+    sim.call_after(50, hits.append, "a")
+    entry = sim.call_after(70, hits.append, "b")
+    entry[3] = None  # the documented cancellation protocol
+    sim.call_after(90, hits.append, "c")
+    sim.run()
+    assert hits == ["a", "c"]
+    assert sim.now == 90
+    with pytest.raises(SimError):
+        sim.call_after(-1, hits.append, "d")
