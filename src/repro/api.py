@@ -57,8 +57,22 @@ __all__ = [
     "new_endpoint",
     "parallel_vnet",
     "replacement_policies",
+    "run_calibration",
     "star_vnet",
 ]
+
+
+def run_calibration(smoke: bool = False, **kwargs):
+    """Run the in-sim LogP calibration sweep; returns a ``CalibReport``.
+
+    Sweeps (topology × node-pair × size × pattern) cells, fits the LogP
+    constants from the observed spans, and round-trips them against the
+    configured cost model — see :mod:`repro.calib`.  Lazy import so the
+    facade stays light for programs that never calibrate.
+    """
+    from .calib.sweep import run_calibration as _run
+
+    return _run(smoke, **kwargs)
 
 
 def replacement_policies() -> list[str]:

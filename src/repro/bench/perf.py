@@ -11,6 +11,10 @@ Runs four canonical scenarios —
   staggered shift-permutation waves (mostly uncontended — express-path
   food) mixed with hotspot waves (everyone to host 0 — revocation and
   fallback pressure) and loopback self-sends;
+* **calib_workloads** — the datacenter diversity shapes from
+  :mod:`repro.calib.workloads` (incast, RPC fan-out, streaming
+  pipeline) at reduced scale, digesting their express-invariant
+  observables;
 
 — and measures, for each, the kernel event throughput (events/s via
 ``Simulator.events_dispatched``), wall-clock time, and peak Python heap
@@ -73,7 +77,8 @@ from .reporting import print_table
 
 __all__ = ["SCENARIOS", "Scale", "run_scenario", "run_suite", "check_baseline", "main"]
 
-SCENARIOS = ("logp_pingpong", "fig6_contention", "chaos_smoke", "net_burst")
+SCENARIOS = ("logp_pingpong", "fig6_contention", "chaos_smoke", "net_burst",
+             "calib_workloads")
 
 #: drop tolerated by --check before the gate fails (the >20% rule)
 CHECK_TOLERANCE = 0.8
@@ -89,6 +94,7 @@ class Scale:
     chaos_duration_ns: int = 8_000_000
     burst_hosts: int = 32
     burst_waves: int = 60
+    calib_rounds: int = 6
 
     def shrunk(self) -> "Scale":
         """A reduced-scale variant for the tracemalloc (peak-heap) pass."""
@@ -99,12 +105,13 @@ class Scale:
             chaos_duration_ns=max(2_000_000, self.chaos_duration_ns // 3),
             burst_hosts=self.burst_hosts,
             burst_waves=max(8, self.burst_waves // 4),
+            calib_rounds=max(2, self.calib_rounds // 2),
         )
 
 
 QUICK = Scale(pingpong_rounds=200, contention_warmup_ms=20.0,
               contention_duration_ms=25.0, chaos_duration_ns=4_000_000,
-              burst_waves=20)
+              burst_waves=20, calib_rounds=4)
 
 
 # --------------------------------------------------------------- scenarios
@@ -297,17 +304,59 @@ def _run_net_burst(sim_factory: Callable, scale: Scale, traced: bool,
     }
 
 
+def _run_calib_workloads(sim_factory: Callable, scale: Scale, traced: bool,
+                         express: bool = True) -> dict:
+    """The datacenter diversity shapes (incast / fan-out / streaming).
+
+    Untraced; the per-workload digest covers only express-invariant
+    observables (counts + simulated latencies), so the on/off oracle
+    and the kernel oracle both apply to it.
+    """
+    from ..calib.workloads import run_workload_bench
+
+    r = scale.calib_rounds
+    shapes = [
+        ("incast", {"senders": 4, "rounds": r, "burst": 3}),
+        ("rpc_fanout", {"workers": 4, "rounds": r}),
+        ("streaming", {"stages": 3, "messages": 3 * r}),
+    ]
+    wall = 0.0
+    sim_ns = handled = 0
+    digests: list[str] = []
+    for name, kwargs in shapes:
+        res = run_workload_bench(name, express=express,
+                                 sim_factory=sim_factory, **kwargs)
+        wall += res.wall_s
+        sim_ns += res.sim_ns
+        handled += res.handled
+        digests.append(res.digest)
+    h = hashlib.sha256()
+    for d in digests:
+        h.update(d.encode())
+    digest = h.hexdigest()
+    return {
+        "wall_s": wall,
+        # the workload runner doesn't expose the kernel's event counter
+        # per shape; report total handled messages as the work metric
+        "events": handled,
+        "sim_ns": sim_ns,
+        "digest": digest,
+        "checks": {"digest": digest, "sim_ns": sim_ns, "handled": handled},
+    }
+
+
 _RUNNERS = {
     "logp_pingpong": _run_pingpong,
     "fig6_contention": _run_contention,
     "chaos_smoke": _run_chaos_smoke,
     "net_burst": _run_net_burst,
+    "calib_workloads": _run_calib_workloads,
 }
 
 #: scenarios whose timeline digest is compared bit-for-bit across kernels
 #: (net_burst's digest comes from its own delivery records, not the bus)
 TRACED = {"logp_pingpong": True, "fig6_contention": False,
-          "chaos_smoke": True, "net_burst": False}
+          "chaos_smoke": True, "net_burst": False, "calib_workloads": False}
 
 
 def run_scenario(name: str, sim_factory: Callable = Simulator,

@@ -1,0 +1,40 @@
+"""repro.calib — in-sim LogP calibration + workload-diversity suite.
+
+The calibration harness closes the loop the paper's cost accounting
+opens: the simulator is *configured* with LogP-grade constants
+(overheads, NI service budgets, link rates), and this package
+re-*measures* them from observed behaviour — span traces of sweeps over
+(node-pair × message-size × pattern) cells on the canonical topologies —
+fits the constants by least squares, and round-trips the fit against the
+closed-form configured model.  Divergence beyond tolerance is a hard
+failure, which turns the entire stack's timing model (sim kernel, NI
+firmware, SBus DMA engine, fat-tree fabric, express path) into a
+CI-gated correctness property.
+
+Quickstart::
+
+    PYTHONPATH=src python -m repro.calib --smoke    # CI gate
+    PYTHONPATH=src python -m repro.calib            # full sweep
+
+Alongside the sweep, :mod:`repro.calib.workloads` adds the datacenter
+traffic shapes the chaos suite lacked — incast (N→1 synchronized
+bursts), RPC fan-out/fan-in with tail-latency amplification, and
+streaming pipelines — all deterministic, chaos-compatible and runnable
+with the express path on or off (bit-identical observables either way).
+"""
+
+from .fitter import LogPFit, Observation, fit_constants
+from .model import ConfiguredLogP, configured_model
+from .sweep import CalibCell, CalibReport, run_calibration, run_cell
+
+__all__ = [
+    "Observation",
+    "LogPFit",
+    "fit_constants",
+    "ConfiguredLogP",
+    "configured_model",
+    "CalibCell",
+    "CalibReport",
+    "run_cell",
+    "run_calibration",
+]

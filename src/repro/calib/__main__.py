@@ -1,0 +1,5 @@
+"""``python -m repro.calib`` — run the calibration sweep CLI."""
+
+from .sweep import main
+
+raise SystemExit(main())

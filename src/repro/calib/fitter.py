@@ -1,0 +1,172 @@
+"""Least-squares fitting of LogP constants from sweep observations.
+
+The calibration sweep (:mod:`repro.calib.sweep`) reduces every measured
+cell to plain :class:`Observation` rows; this module turns a bag of rows
+into one :class:`LogPFit` by solving small independent least-squares
+problems:
+
+* ``os`` / ``or`` rows — scalar means (a 1-parameter fit);
+* ``oneway`` rows — the latency surface ``D(links, s) = ν + τ·links +
+  β·s`` fitted over route lengths and payload sizes.  ν absorbs the
+  fixed NI send/receive service, τ is the per-link fabric cost (switch
+  cut-through + cable + per-hop header time), β the per-payload-byte
+  wire time;
+* ``gap`` rows — the small-message steady-state gap g (scalar mean);
+* ``bulk_gap`` rows — the bulk pipeline ``T(s) = c + G·s`` fitted over
+  single-fragment bulk sizes: G is the per-byte cost of the rate-
+  limiting stage (the receiver's SBus write DMA), c its fixed per-
+  message cost (DMA startup + completion handling).
+
+The solver is plain normal equations + Gaussian elimination with
+partial pivoting — the systems are at most 3×3, so no numerics library
+is needed (and none may be assumed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Observation", "LogPFit", "lstsq", "fit_constants"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One reduced measurement.
+
+    ``kind`` selects the model the row feeds: ``os``, ``or``, ``oneway``
+    (uses ``links`` and ``nbytes``), ``gap``, or ``bulk_gap`` (uses
+    ``nbytes``).  ``value_ns`` is the measured duration.
+    """
+
+    kind: str
+    value_ns: float
+    nbytes: int = 0
+    #: route length in links (host→leaf…→host); 0 for host-side rows
+    links: int = 0
+
+
+@dataclass
+class LogPFit:
+    """Fitted LogP constants (all nanoseconds; G per byte)."""
+
+    os_ns: float
+    or_ns: float
+    #: latency surface D(links, s) = lat_fixed + lat_per_link·links +
+    #: lat_per_byte·s   (enqueue → endpoint delivery, idle network)
+    lat_fixed_ns: float
+    lat_per_link_ns: float
+    lat_per_byte_ns: float
+    g_ns: float
+    G_ns_per_byte: float
+    bulk_fixed_ns: float
+    #: observation rows consumed per kind
+    counts: dict
+
+    def L_ns(self, links: int, nbytes: int = 16) -> float:
+        """The latency surface evaluated at one cell's geometry."""
+        return (self.lat_fixed_ns + self.lat_per_link_ns * links
+                + self.lat_per_byte_ns * nbytes)
+
+    def to_json(self) -> dict:
+        return {
+            "os_ns": round(self.os_ns, 3),
+            "or_ns": round(self.or_ns, 3),
+            "lat_fixed_ns": round(self.lat_fixed_ns, 3),
+            "lat_per_link_ns": round(self.lat_per_link_ns, 3),
+            "lat_per_byte_ns": round(self.lat_per_byte_ns, 5),
+            "g_ns": round(self.g_ns, 3),
+            "G_ns_per_byte": round(self.G_ns_per_byte, 5),
+            "bulk_fixed_ns": round(self.bulk_fixed_ns, 3),
+            "counts": dict(self.counts),
+        }
+
+
+def lstsq(rows: Sequence[tuple[Sequence[float], float]]) -> list[float]:
+    """Solve ``min ||Ax - b||`` for small dense systems.
+
+    ``rows`` is ``[(coefficients, value), ...]``.  Normal equations
+    (AᵀA x = Aᵀb) with Gaussian elimination + partial pivoting; raises
+    ``ValueError`` when the system is singular (a degenerate sweep, e.g.
+    every route the same length).
+    """
+    if not rows:
+        raise ValueError("lstsq: no rows")
+    n = len(rows[0][0])
+    ata = [[0.0] * n for _ in range(n)]
+    atb = [0.0] * n
+    for coeffs, value in rows:
+        if len(coeffs) != n:
+            raise ValueError("lstsq: ragged coefficient rows")
+        for i in range(n):
+            ci = coeffs[i]
+            atb[i] += ci * value
+            for j in range(n):
+                ata[i][j] += ci * coeffs[j]
+    # Gaussian elimination with partial pivoting on the augmented system.
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(ata[r][col]))
+        if abs(ata[pivot][col]) < 1e-9:
+            raise ValueError(
+                "lstsq: singular system — the sweep lacks diversity in "
+                f"column {col} (e.g. a single route length or payload size)")
+        if pivot != col:
+            ata[col], ata[pivot] = ata[pivot], ata[col]
+            atb[col], atb[pivot] = atb[pivot], atb[col]
+        inv = 1.0 / ata[col][col]
+        for r in range(col + 1, n):
+            f = ata[r][col] * inv
+            if f == 0.0:
+                continue
+            for c in range(col, n):
+                ata[r][c] -= f * ata[col][c]
+            atb[r] -= f * atb[col]
+    x = [0.0] * n
+    for r in range(n - 1, -1, -1):
+        acc = atb[r]
+        for c in range(r + 1, n):
+            acc -= ata[r][c] * x[c]
+        x[r] = acc / ata[r][r]
+    return x
+
+
+def _mean(values: list[float], what: str) -> float:
+    if not values:
+        raise ValueError(f"fit_constants: no {what!r} observations")
+    return sum(values) / len(values)
+
+
+def fit_constants(observations: Iterable[Observation]) -> LogPFit:
+    """Fit one :class:`LogPFit` from the whole sweep's observation bag."""
+    by_kind: dict[str, list[Observation]] = {}
+    for ob in observations:
+        by_kind.setdefault(ob.kind, []).append(ob)
+
+    os_ns = _mean([ob.value_ns for ob in by_kind.get("os", [])], "os")
+    or_ns = _mean([ob.value_ns for ob in by_kind.get("or", [])], "or")
+    g_ns = _mean([ob.value_ns for ob in by_kind.get("gap", [])], "gap")
+
+    oneway = by_kind.get("oneway", [])
+    if len(oneway) < 3:
+        raise ValueError("fit_constants: need >= 3 'oneway' observations")
+    nu, tau, beta = lstsq(
+        [((1.0, float(ob.links), float(ob.nbytes)), ob.value_ns)
+         for ob in oneway])
+
+    bulk = by_kind.get("bulk_gap", [])
+    if len(bulk) < 2:
+        raise ValueError("fit_constants: need >= 2 'bulk_gap' observations")
+    bulk_fixed, big_g = lstsq(
+        [((1.0, float(ob.nbytes)), ob.value_ns) for ob in bulk])
+
+    return LogPFit(
+        os_ns=os_ns,
+        or_ns=or_ns,
+        lat_fixed_ns=nu,
+        lat_per_link_ns=tau,
+        lat_per_byte_ns=beta,
+        g_ns=g_ns,
+        G_ns_per_byte=big_g,
+        bulk_fixed_ns=bulk_fixed,
+        counts={k: len(v) for k, v in sorted(by_kind.items())},
+    )

@@ -1,0 +1,481 @@
+"""The (topology × node-pair × message-size × pattern) calibration sweep.
+
+Every cell builds a fresh cluster on one of the canonical topologies,
+drives one traffic pattern between one node pair with the trace bus
+attached, and reduces the observed spans to plain
+:class:`~repro.calib.fitter.Observation` rows:
+
+* **pingpong** cells measure the host overheads (o_s, o_r) directly —
+  the Figure 3 methodology — and contribute one ``oneway`` row per
+  steady request span (enqueue → endpoint delivery at the cell's route
+  length and payload size), sampling the latency surface;
+* **flood** cells flood 16-byte requests through the full credit window
+  and contribute the steady-state delivery spacing as the ``gap`` row;
+* **bulk** cells flood single-fragment bulk payloads (SBus-DMA path)
+  and contribute the spacing as a ``bulk_gap`` row — the per-byte slope
+  across bulk sizes is G.
+
+One *global* least-squares fit consumes every cell's rows (the route-
+length diversity across topologies is what makes the per-link latency
+term identifiable), and :func:`~repro.calib.model.round_trip` compares
+the fit against the closed-form configured model — on every canonical
+cell for L, and globally for the scalar constants.  Divergence beyond
+tolerance is a hard failure (exit 1 from the CLI).
+
+Determinism: each cell rewinds the global id counters, uses a fixed
+seed, and digests only integer observables, so the ``--smoke`` double
+run must be bit-identical (the repro.scale digest-gate pattern).
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.calib --smoke     # CI gate
+    PYTHONPATH=src python -m repro.calib             # full sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..am.vnet import parallel_vnet
+from ..bench.reporting import print_table
+from ..chaos.runner import reset_global_ids
+from ..cluster.builder import Cluster
+from ..cluster.config import ClusterConfig
+from ..obs import message_spans
+from ..sim.core import Simulator, ms
+from .fitter import LogPFit, Observation, fit_constants
+from .model import ConfiguredLogP, configured_model, round_trip
+
+__all__ = ["TOPOLOGIES", "CalibCell", "CalibCellResult", "CalibReport",
+           "route_links", "default_cells", "run_cell", "run_calibration",
+           "main"]
+
+#: canonical topologies: name -> hosts (switch_radix 8 => 4 hosts/leaf;
+#: leaf4 is a single leaf, the larger ones are two-level Clos fabrics)
+TOPOLOGIES = {"leaf4": 4, "clos16": 16, "clos64": 64}
+
+
+def route_links(cfg: ClusterConfig, a: int, b: int) -> int:
+    """Route length in links between hosts ``a`` and ``b``.
+
+    Same-leaf pairs traverse host→leaf→host (2 links); cross-leaf pairs
+    add the leaf→spine→leaf stage (4 links).
+    """
+    per_leaf = max(1, cfg.switch_radix // 2)
+    return 2 if a // per_leaf == b // per_leaf else 4
+
+
+@dataclass(frozen=True)
+class CalibCell:
+    """One sweep cell."""
+
+    topology: str
+    pair: tuple[int, int]
+    pattern: str  # "pingpong" | "flood" | "bulk"
+    nbytes: int
+    rounds: int
+
+    @property
+    def label(self) -> str:
+        a, b = self.pair
+        return f"{self.topology}/{a}-{b}/{self.pattern}/{self.nbytes}B"
+
+
+@dataclass
+class CalibCellResult:
+    """One executed cell: observation rows + the determinism digest."""
+
+    cell: CalibCell
+    links: int
+    observations: list[Observation] = field(default_factory=list)
+    #: headline number for the report table (oneway mean / gap / bulk gap)
+    headline_ns: float = 0.0
+    os_ns: int = 0
+    or_ns: int = 0
+    samples: int = 0
+    sim_ns: int = 0
+    events: int = 0
+    digest: str = ""
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "cell": self.cell.label,
+            "links": self.links,
+            "pattern": self.cell.pattern,
+            "nbytes": self.cell.nbytes,
+            "headline_ns": round(self.headline_ns, 3),
+            "os_ns": self.os_ns,
+            "or_ns": self.or_ns,
+            "samples": self.samples,
+            "sim_ns": self.sim_ns,
+            "events": self.events,
+            "digest": self.digest,
+        }
+
+
+def _digest(parts) -> str:
+    h = hashlib.sha256()
+    h.update(repr(parts).encode())
+    return h.hexdigest()
+
+
+def default_cells(smoke: bool) -> list[CalibCell]:
+    """The canonical cell matrix (reduced under ``--smoke``)."""
+    cells: list[CalibCell] = []
+    pp_pairs = [("leaf4", (0, 1)), ("clos16", (0, 1)), ("clos16", (0, 5))]
+    pp_sizes: Sequence[int] = (16, 128) if smoke else (16, 64, 128)
+    pp_rounds = 12 if smoke else 24
+    if not smoke:
+        pp_pairs += [("clos16", (2, 3)), ("clos64", (0, 33))]
+    for topo, pair in pp_pairs:
+        for size in pp_sizes:
+            cells.append(CalibCell(topo, pair, "pingpong", size, pp_rounds))
+    flood_pairs = [("leaf4", (0, 1)), ("clos16", (0, 5))]
+    if not smoke:
+        flood_pairs.append(("clos64", (0, 33)))
+    for topo, pair in flood_pairs:
+        cells.append(CalibCell(topo, pair, "flood", 16,
+                               160 if smoke else 360))
+    # bulk sizes start at 4096: below that the sender's SBus read rate
+    # is close enough to the receiver's write rate that the pipeline
+    # phase-couples and the spacing no longer isolates the write DMA
+    bulk_sizes: Sequence[int] = (4096, 8192) if smoke else (4096, 6144, 8192)
+    bulk_rounds = 14 if smoke else 24
+    for size in bulk_sizes:
+        cells.append(CalibCell("clos16", (0, 5), "bulk", size, bulk_rounds))
+    if not smoke:
+        for size in (4096, 8192):
+            cells.append(CalibCell("leaf4", (0, 1), "bulk", size, bulk_rounds))
+    return cells
+
+
+def run_cell(cell: CalibCell, *, seed: int = 1999,
+             sim_factory: Callable = Simulator) -> CalibCellResult:
+    """Execute one cell deterministically and reduce it to observations."""
+    reset_global_ids()
+    cfg = ClusterConfig(num_hosts=TOPOLOGIES[cell.topology], seed=seed)
+    cluster = Cluster(cfg, sim_factory=sim_factory)
+    sim = cluster.sim
+    a, b = cell.pair
+    res = CalibCellResult(cell=cell, links=route_links(cfg, a, b))
+    vnet = cluster.run_process(parallel_vnet(cluster, [a, b]), "calib.setup")
+    ep0, ep1 = vnet[0], vnet[1]
+
+    # warm both endpoints resident so the cell measures the steady state
+    cluster.run_process(cluster.node(a).driver.write_fault(ep0.state), "calib.w0")
+    cluster.run_process(cluster.node(b).driver.write_fault(ep1.state), "calib.w1")
+    cluster.run(until=sim.now + ms(10))
+    # tracing attached post-warmup: spans reflect only the measurement
+    # (tracing also pins the express path off — full wormhole fidelity)
+    bus = cluster.enable_tracing()
+
+    marks: dict[str, int] = {}
+    done: list[int] = []
+
+    def receiver(thr):
+        while not done:
+            yield from ep1.poll(thr, limit=8)
+
+    def drain_replies(thr):
+        for _ in range(100_000):
+            got = yield from ep0.poll(thr, limit=8)
+            if not got and not ep0._outstanding:
+                return
+        raise RuntimeError(f"{cell.label}: sender could not drain")
+
+    def sender(thr):
+        # one warm round absorbs the cold start
+        yield from ep0.request(thr, 1, None, nbytes=16)
+        yield from drain_replies(thr)
+        if cell.pattern == "pingpong":
+            # Os: time inside the send call (Figure 3 methodology)
+            t0 = sim.now
+            yield from ep0.request(thr, 1, None, nbytes=16)
+            marks["os"] = sim.now - t0
+            yield from drain_replies(thr)
+            # Or: poll with one pending reply minus the empty poll
+            t0 = sim.now
+            yield from ep0.poll(thr, limit=4)
+            empty_ns = sim.now - t0
+            yield from ep0.request(thr, 1, None, nbytes=16)
+            while not ep0.state.recv_replies:
+                yield from thr.compute(200)
+            t0 = sim.now
+            yield from ep0.poll(thr, limit=1)
+            marks["or"] = (sim.now - t0) - empty_ns
+            marks["t_meas"] = sim.now
+            for _ in range(cell.rounds):
+                yield from ep0.request(thr, 1, None, nbytes=cell.nbytes)
+                yield from drain_replies(thr)
+        else:
+            # flood / bulk: keep the credit window full; spacing at the
+            # receiver NI is the steady-state per-message occupancy
+            marks["t_meas"] = sim.now
+            for _ in range(cell.rounds):
+                yield from ep0.request(thr, 1, None, nbytes=cell.nbytes)
+                yield from ep0.poll(thr, limit=2)
+            yield from drain_replies(thr)
+        done.append(1)
+
+    cluster.node(b).start_process("calib.r").spawn_thread(receiver, "recv")
+    cluster.node(a).start_process("calib.s").spawn_thread(sender, "send")
+    t0_wall = time.perf_counter()
+    sim.run(until=sim.now + ms(4_000), stop=lambda: bool(done))
+    res.wall_s = time.perf_counter() - t0_wall
+    if not done:
+        raise RuntimeError(f"calibration cell {cell.label} did not converge")
+
+    spans = [sp for sp in message_spans(bus, complete_only=True)
+             if sp.src == a and sp.nbytes == cell.nbytes
+             and sp.enq_ts is not None and sp.enq_ts >= marks["t_meas"]]
+    bus.detach()
+    res.samples = len(spans)
+    res.sim_ns = sim.now
+    res.events = sim.events_dispatched
+
+    if cell.pattern == "pingpong":
+        if len(spans) != cell.rounds:
+            raise RuntimeError(
+                f"{cell.label}: expected {cell.rounds} request spans, "
+                f"saw {len(spans)}")
+        res.os_ns = marks["os"]
+        res.or_ns = marks["or"]
+        res.observations.append(Observation("os", float(marks["os"])))
+        res.observations.append(Observation("or", float(marks["or"])))
+        oneways = [sp.oneway_ns for sp in spans]
+        for ow in oneways:
+            res.observations.append(Observation(
+                "oneway", float(ow), nbytes=cell.nbytes, links=res.links))
+        res.headline_ns = sum(oneways) / len(oneways)
+        raw = [(sp.enq_ts, sp.tx_ts, sp.net_ts, sp.deliver_ts, sp.ack_ts)
+               for sp in spans]
+        material = (cell.label, marks["os"], marks["or"], raw)
+    else:
+        delivers = sorted(sp.deliver_ts for sp in spans)
+        if len(delivers) < cell.rounds:
+            raise RuntimeError(
+                f"{cell.label}: expected {cell.rounds} deliveries, "
+                f"saw {len(delivers)}")
+        # steady-state spacing over the middle half (skips the window
+        # ramp-up and the drain tail)
+        lo, hi = len(delivers) // 4, 3 * len(delivers) // 4
+        spacing = (delivers[hi] - delivers[lo]) / (hi - lo)
+        kind = "gap" if cell.pattern == "flood" else "bulk_gap"
+        res.observations.append(Observation(kind, spacing, nbytes=cell.nbytes))
+        res.headline_ns = spacing
+        material = (cell.label, delivers)
+    res.digest = _digest((material, res.sim_ns, res.events))
+    return res
+
+
+@dataclass
+class CalibReport:
+    """One calibration run: cells, fit, round trip, workload bench."""
+
+    seed: int
+    smoke: bool
+    tolerance: float
+    cells: list[CalibCellResult] = field(default_factory=list)
+    fit: Optional[LogPFit] = None
+    configured: Optional[ConfiguredLogP] = None
+    comparisons: list[dict] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+    nondeterministic: list[str] = field(default_factory=list)
+    workloads: list = field(default_factory=list)  # WorkloadBenchResult
+
+    @property
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        for c in self.cells:
+            h.update(c.digest.encode())
+        for w in self.workloads:
+            h.update(w.digest.encode())
+        return h.hexdigest()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.nondeterministic
+
+    def to_json(self) -> dict:
+        return {
+            "schema": 1,
+            "seed": self.seed,
+            "smoke": self.smoke,
+            "tolerance": self.tolerance,
+            "digest": self.digest,
+            "fitted": self.fit.to_json() if self.fit else None,
+            "configured": self.configured.to_json() if self.configured else None,
+            "comparisons": self.comparisons,
+            "failures": self.failures,
+            "nondeterministic": self.nondeterministic,
+            "cells": [c.to_dict() for c in self.cells],
+            "workloads": [w.to_dict() for w in self.workloads],
+        }
+
+
+def run_calibration(smoke: bool = False, *, seed: int = 1999,
+                    tolerance: float = 0.10,
+                    cells: Optional[Sequence[CalibCell]] = None,
+                    verify_determinism: bool = False,
+                    include_workloads: bool = True,
+                    sim_factory: Callable = Simulator,
+                    progress=None) -> CalibReport:
+    """Run the sweep, fit, round-trip, and (optionally) the bench table.
+
+    ``verify_determinism`` runs every cell — and every workload bench
+    shape, express on and off — twice and records digest mismatches
+    (the ``--smoke`` gate).  Round-trip failures land in
+    ``report.failures``.
+    """
+    report = CalibReport(seed=seed, smoke=smoke, tolerance=tolerance)
+    for cell in (list(cells) if cells is not None else default_cells(smoke)):
+        res = run_cell(cell, seed=seed, sim_factory=sim_factory)
+        if verify_determinism:
+            res2 = run_cell(cell, seed=seed, sim_factory=sim_factory)
+            if res2.digest != res.digest:
+                report.nondeterministic.append(
+                    f"{cell.label}: digests differ: "
+                    f"{res.digest[:12]} vs {res2.digest[:12]}")
+        report.cells.append(res)
+        if progress is not None:
+            progress(f"  {cell.label:>30}  {res.headline_ns / 1e3:8.2f} us  "
+                     f"({res.samples} samples, {res.wall_s:.2f}s wall)")
+
+    observations = [ob for c in report.cells for ob in c.observations]
+    report.fit = fit_constants(observations)
+    report.configured = configured_model(
+        ClusterConfig(num_hosts=TOPOLOGIES["clos16"], seed=seed))
+    geometry = [(c.cell.label, c.links, c.cell.nbytes)
+                for c in report.cells if c.cell.pattern == "pingpong"]
+    report.comparisons, report.failures = round_trip(
+        report.fit, report.configured, geometry, tolerance=tolerance)
+
+    if include_workloads:
+        from .workloads import WORKLOAD_BENCH, run_workload_bench
+
+        for name in WORKLOAD_BENCH:
+            on = run_workload_bench(name, express=True, seed=seed % 1009,
+                                    sim_factory=sim_factory)
+            off = run_workload_bench(name, express=False, seed=seed % 1009,
+                                     sim_factory=sim_factory)
+            if on.digest != off.digest:
+                report.failures.append(
+                    f"workload {name}: express on/off observables diverged "
+                    f"({on.digest[:12]} vs {off.digest[:12]})")
+            if verify_determinism:
+                again = run_workload_bench(name, express=True,
+                                           seed=seed % 1009,
+                                           sim_factory=sim_factory)
+                if again.digest != on.digest:
+                    report.nondeterministic.append(
+                        f"workload {name}: digests differ across runs")
+            report.workloads.append(on)
+            report.workloads.append(off)
+            if progress is not None:
+                progress(f"  workload {name:>12}  "
+                         f"{on.goodput_msgs_s / 1e3:7.1f} K msg/s  "
+                         f"p50 {on.p50_us:8.1f} us  p99 {on.p99_us:8.1f} us  "
+                         f"express on/off match")
+    return report
+
+
+# --------------------------------------------------------------------- CLI
+def _cell_rows(report: CalibReport) -> list[list]:
+    return [[c.cell.topology, f"{c.cell.pair[0]}-{c.cell.pair[1]}", c.links,
+             c.cell.pattern, c.cell.nbytes, c.samples,
+             f"{c.headline_ns / 1e3:.2f}", c.digest[:12]]
+            for c in report.cells]
+
+
+def _comparison_rows(report: CalibReport) -> list[list]:
+    return [[r["constant"], f"{r['fitted_ns']:.2f}", f"{r['configured_ns']:.2f}",
+             f"{r['rel_err'] * 100.0:.2f}%", "ok" if r["ok"] else "FAIL"]
+            for r in report.comparisons]
+
+
+def _workload_rows(report: CalibReport) -> list[list]:
+    return [[w.name, "on" if w.express else "off", w.sent, w.handled, w.ops,
+             f"{w.p50_us:.1f}", f"{w.p99_us:.1f}",
+             f"{w.goodput_msgs_s / 1e3:.1f}", w.digest[:12]]
+            for w in report.workloads]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced CI matrix; every cell and workload run "
+                         "twice with digests compared")
+    ap.add_argument("--seed", type=int, default=1999)
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="round-trip tolerance (fraction; default 0.10)")
+    ap.add_argument("--skip-workloads", action="store_true",
+                    help="sweep + fit only, no diversity bench table")
+    ap.add_argument("--verify-determinism", action="store_true",
+                    help="double-run every cell (implied by --smoke)")
+    ap.add_argument("--out", default="BENCH_CALIB.json",
+                    help="write the full report here as JSON")
+    args = ap.parse_args(argv)
+
+    verify = args.verify_determinism or args.smoke
+    print(f"calibration sweep: seed={args.seed}, "
+          f"tolerance={args.tolerance * 100.0:.0f}%"
+          + (" [smoke: every cell run twice]" if args.smoke else ""))
+    report = run_calibration(
+        smoke=args.smoke, seed=args.seed, tolerance=args.tolerance,
+        verify_determinism=verify,
+        include_workloads=not args.skip_workloads, progress=print)
+
+    print_table(
+        ["topology", "pair", "links", "pattern", "bytes", "samples",
+         "headline us", "digest"],
+        _cell_rows(report),
+        title=f"calibration cells (seed {args.seed}, "
+              f"digest {report.digest[:16]})")
+    print_table(
+        ["constant", "fitted ns", "configured ns", "rel err", "status"],
+        _comparison_rows(report),
+        title="fitted vs configured LogP constants (round trip)")
+    if report.workloads:
+        print_table(
+            ["workload", "express", "sent", "handled", "ops", "p50 us",
+             "p99 us", "good K/s", "digest"],
+            _workload_rows(report),
+            title="workload-diversity bench (incast / fan-out / streaming)")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+
+    status = 0
+    if report.nondeterministic:
+        print("DETERMINISM FAILURE: digests differed between runs:",
+              file=sys.stderr)
+        for line in report.nondeterministic:
+            print(f"  {line}", file=sys.stderr)
+        status = 1
+    if report.failures:
+        print("CALIBRATION FAILURE: fitted constants diverged from the "
+              "configured cost model:", file=sys.stderr)
+        for line in report.failures:
+            print(f"  {line}", file=sys.stderr)
+        status = 1
+    if status == 0:
+        worst = max(report.comparisons, key=lambda r: r["rel_err"])
+        print(f"calibration ok: {len(report.cells)} cells, worst constant "
+              f"{worst['constant']} off by {worst['rel_err'] * 100.0:.2f}%"
+              + (" — determinism verified (double runs matched)"
+                 if verify else ""))
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -106,13 +106,14 @@ class ChaosWorkload:
         self.returned_seen += 1
 
     def _guarded_request(self, thr: Thread, ep: Endpoint, index: int,
-                         nbytes: int = 0) -> Generator:
+                         nbytes: int = 0, handler=None) -> Generator:
         """Send one request without ever spinning unboundedly on credits.
 
         Returns True if sent, False if the credit window never reopened
         before the give-up deadline (peer dead and returns still in
         flight) — the caller just moves on; the delivery contract is
-        audited from the trace, not from here.
+        audited from the trace, not from here.  ``handler`` overrides
+        the shipped request handler (default :meth:`_on_request`).
         """
         cfg = ep.cfg
         need = max(1, -(-nbytes // cfg.mtu_bytes)) if nbytes > cfg.small_payload_max_bytes else 1
@@ -123,7 +124,9 @@ class ChaosWorkload:
                 yield from thr.sleep(_IDLE_NS)
             if ep.node.sim.now >= deadline:
                 return False
-        yield from ep.request(thr, index, self._on_request, nbytes=nbytes)
+        yield from ep.request(thr, index,
+                              self._on_request if handler is None else handler,
+                              nbytes=nbytes)
         self.sent += 1
         return True
 
@@ -309,8 +312,16 @@ WORKLOADS = {
 
 
 def make_workload(name: str, **kwargs) -> ChaosWorkload:
-    try:
-        cls = WORKLOADS[name]
-    except KeyError:
+    cls = WORKLOADS.get(name)
+    if cls is None:
+        # The datacenter-diversity family (incast, rpc_fanout, streaming)
+        # lives in repro.calib.workloads and registers itself into
+        # WORKLOADS on import; pull it in lazily so the chaos package
+        # stays importable without the calibration harness loaded.
+        import importlib
+
+        importlib.import_module("repro.calib.workloads")
+        cls = WORKLOADS.get(name)
+    if cls is None:
         raise ValueError(f"unknown workload {name!r} (choose from {sorted(WORKLOADS)})")
     return cls(**kwargs)

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Optional
 
-__all__ = ["PacketType", "NackReason", "Packet"]
+__all__ = ["PacketType", "NackReason", "Packet", "pool_stats",
+           "reset_pool_stats"]
 
 _packet_ids = itertools.count(1)
 
@@ -22,6 +23,21 @@ _packet_ids = itertools.count(1)
 #: can't pin memory forever
 _pool: list["Packet"] = []
 _POOL_MAX = 512
+
+#: allocation accounting: hits (shell reused), misses (fresh construction
+#: through alloc), recycled (shells returned).  Observability only — the
+#: regression test pins a steady-state protocol burst at zero misses.
+_pool_stats = {"hits": 0, "misses": 0, "recycled": 0}
+
+
+def pool_stats() -> dict:
+    """A snapshot of the shell pool's hit/miss/recycle counters."""
+    return dict(_pool_stats)
+
+
+def reset_pool_stats() -> None:
+    for k in _pool_stats:
+        _pool_stats[k] = 0
 
 
 class PacketType(Enum):
@@ -104,6 +120,7 @@ class Packet:
         (the ACK/NACK protocol paths in :mod:`repro.nic.firmware` do).
         """
         if _pool:
+            _pool_stats["hits"] += 1
             p = _pool.pop()
             p.src_nic = src_nic
             p.dst_nic = dst_nic
@@ -127,11 +144,13 @@ class Packet:
             for k, v in kw.items():
                 setattr(p, k, v)
             return p
+        _pool_stats["misses"] += 1
         return cls(src_nic, dst_nic, kind, **kw)
 
     def recycle(self) -> None:
         """Return a dead packet to the free list (owner's responsibility)."""
         if len(_pool) < _POOL_MAX:
+            _pool_stats["recycled"] += 1
             _pool.append(self)
 
     def __repr__(self) -> str:  # compact for traces

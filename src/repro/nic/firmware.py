@@ -136,8 +136,9 @@ class Nic:
         #: adaptive RTT state per peer: [srtt_ns, rttvar_ns] (extension)
         self._rtt: dict[int, list] = {}
         #: pending acknowledgments awaiting a piggyback ride, per peer:
-        #: deque of (channel, seq, epoch, msg_id, timestamp) (extension)
-        self._pending_acks: dict[int, Deque[tuple]] = {}
+        #: deque of pre-built explicit-ACK shells from the packet pool —
+        #: recycled if the ack rides, sent as-is if flushed (extension)
+        self._pending_acks: dict[int, Deque[Packet]] = {}
         self._pending_unloads: list[tuple[EndpointState, DriverOp]] = []
         #: alternates receive/transmit service so neither starves under
         #: overload (the real board's send and receive paths are separate
@@ -441,7 +442,12 @@ class Nic:
         if self.cfg.enable_piggyback_acks:
             rides = self._pending_acks.get(msg.dst_node)
             if rides:
-                piggyback = rides.popleft()
+                # The deferred ack caught its ride: copy the shell's
+                # protocol fields into the data packet and recycle it.
+                ride = rides.popleft()
+                piggyback = (ride.channel, ride.seq, ride.epoch,
+                             ride.msg_id, ride.timestamp)
+                ride.recycle()
         pkt = Packet(
             src_nic=self.nic_id,
             dst_nic=msg.dst_node,
@@ -792,8 +798,21 @@ class Nic:
         if self.cfg.enable_piggyback_acks:
             # Hold the acknowledgment briefly, hoping for a data packet
             # heading back (an extension the paper's conclusions propose
-            # to reduce network occupancy).
-            entry = (pkt.channel, pkt.seq, pkt.epoch, pkt.msg_id, pkt.timestamp)
+            # to reduce network occupancy).  The explicit-ACK shell is
+            # allocated from the pool *now*, while the deferral is
+            # queued: if it rides, _transmit recycles it; if the
+            # deadline expires, _flush_ack sends it as built — either
+            # way the flush path never constructs at fire time.
+            entry = Packet.alloc(
+                self.nic_id,
+                pkt.src_nic,
+                PacketType.ACK,
+                channel=pkt.channel,
+                seq=pkt.seq,
+                epoch=pkt.epoch,
+                timestamp=pkt.timestamp,  # reflected (§5.1)
+                msg_id=pkt.msg_id,
+            )
             rides = self._pending_acks.setdefault(pkt.src_nic, deque())
             rides.append(entry)
             self.sim.schedule(
@@ -817,28 +836,17 @@ class Nic:
             )
         )
 
-    def _flush_ack(self, peer: int, entry: tuple) -> None:
+    def _flush_ack(self, peer: int, entry: Packet) -> None:
         """Piggyback deadline expired: send the acknowledgment explicitly."""
         rides = self._pending_acks.get(peer)
         if not rides or entry not in rides:
-            return  # it caught a ride
+            return  # it caught a ride (and the shell was recycled)
         rides.remove(entry)
-        channel, seq, epoch, msg_id, timestamp = entry
         self.stats.acks_sent += 1
         if self.sim.trace.enabled:
-            self.sim.trace.emit("ack.tx", self.nic_id, msg=msg_id, peer=peer, flushed=True)
-        self.network.send(
-            Packet.alloc(
-                self.nic_id,
-                peer,
-                PacketType.ACK,
-                channel=channel,
-                seq=seq,
-                epoch=epoch,
-                timestamp=timestamp,
-                msg_id=msg_id,
-            )
-        )
+            self.sim.trace.emit("ack.tx", self.nic_id, msg=entry.msg_id,
+                                peer=peer, flushed=True)
+        self.network.send(entry)
 
     def _send_nack(self, pkt: Packet, reason: NackReason):
         yield self.sim.timeout(self.meter.cost_ns("nack_gen", self.cfg.ni_ack_gen_instr))

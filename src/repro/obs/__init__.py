@@ -19,7 +19,8 @@ simulated time or event order — the observer-only invariant (DESIGN.md).
 from .bus import TraceBus
 from .events import KINDS, TraceEvent
 from .export import metrics_snapshot, to_chrome_trace, write_chrome_trace
-from .logp import PhaseStats, breakdown_rows, phase_breakdown
+from .logp import (MessageSpan, PhaseStats, breakdown_rows, message_spans,
+                   phase_breakdown)
 from .metrics import Counter, Gauge, Histogram, MetricRegistry
 
 __all__ = [
@@ -36,4 +37,6 @@ __all__ = [
     "phase_breakdown",
     "breakdown_rows",
     "PhaseStats",
+    "MessageSpan",
+    "message_spans",
 ]

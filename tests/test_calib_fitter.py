@@ -1,0 +1,111 @@
+"""Property-based check of the LogP least-squares fitter.
+
+Synthesizes observation bags from *known* ground-truth constants —
+randomized per seed, with bounded multiplicative noise — and asserts
+:func:`repro.calib.fitter.fit_constants` recovers every constant within
+5%.  This pins the fitter independently of the simulator: if the
+calibration round trip ever fails, this test says whether the fitter or
+the measurement path broke.
+"""
+
+import random
+
+import pytest
+
+from repro.calib.fitter import Observation, fit_constants, lstsq
+
+#: relative recovery tolerance the property asserts
+TOL = 0.05
+#: additive noise amplitude (ns) applied to synthetic samples — the
+#: shape of the real sweep's deviations (integer timestamp quantization
+#: and scheduling jitter are absolute, not proportional to the value)
+NOISE_NS = 25.0
+
+
+def _synthesize(rng: random.Random) -> tuple[dict, list[Observation]]:
+    """Ground-truth constants + a noisy observation bag sampling them."""
+    truth = {
+        "os_ns": rng.uniform(1_000, 5_000),
+        "or_ns": rng.uniform(1_000, 5_000),
+        "lat_fixed_ns": rng.uniform(3_000, 9_000),
+        "lat_per_link_ns": rng.uniform(200, 900),
+        "lat_per_byte_ns": rng.uniform(4.0, 12.0),
+        "g_ns": rng.uniform(8_000, 16_000),
+        "G_ns_per_byte": rng.uniform(10.0, 40.0),
+        "bulk_fixed_ns": rng.uniform(4_000, 12_000),
+    }
+
+    def noisy(value: float) -> float:
+        return value + rng.uniform(-NOISE_NS, NOISE_NS)
+
+    obs: list[Observation] = []
+    for _ in range(rng.randint(4, 10)):
+        obs.append(Observation("os", noisy(truth["os_ns"])))
+        obs.append(Observation("or", noisy(truth["or_ns"])))
+        obs.append(Observation("gap", noisy(truth["g_ns"])))
+    # the latency surface needs diversity in links AND bytes (as the
+    # real sweep provides: same-leaf + cross-leaf routes, several sizes)
+    for links in (2, 4):
+        for nbytes in (16, 64, 128):
+            for _ in range(rng.randint(4, 6)):
+                d = (truth["lat_fixed_ns"]
+                     + truth["lat_per_link_ns"] * links
+                     + truth["lat_per_byte_ns"] * nbytes)
+                obs.append(Observation("oneway", noisy(d),
+                                       nbytes=nbytes, links=links))
+    for nbytes in (2_048, 4_096, 8_192):
+        t = truth["bulk_fixed_ns"] + truth["G_ns_per_byte"] * nbytes
+        obs.append(Observation("bulk_gap", noisy(t), nbytes=nbytes))
+    rng.shuffle(obs)
+    return truth, obs
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_fitter_recovers_known_constants(seed):
+    truth, obs = _synthesize(random.Random(seed))
+    fit = fit_constants(obs)
+    for name, expected in truth.items():
+        got = getattr(fit, name)
+        rel = abs(got - expected) / abs(expected)
+        assert rel <= TOL, (
+            f"seed {seed}: {name} fitted {got:.2f} vs truth {expected:.2f} "
+            f"({rel * 100.0:.1f}% > {TOL * 100.0:.0f}%)")
+
+
+def test_fitter_exact_on_noiseless_data():
+    truth, obs = _synthesize(random.Random(99))
+    exact = []
+    for ob in obs:
+        if ob.kind == "oneway":
+            v = (truth["lat_fixed_ns"] + truth["lat_per_link_ns"] * ob.links
+                 + truth["lat_per_byte_ns"] * ob.nbytes)
+        elif ob.kind == "bulk_gap":
+            v = truth["bulk_fixed_ns"] + truth["G_ns_per_byte"] * ob.nbytes
+        else:
+            v = truth[{"os": "os_ns", "or": "or_ns", "gap": "g_ns"}[ob.kind]]
+        exact.append(Observation(ob.kind, v, nbytes=ob.nbytes, links=ob.links))
+    fit = fit_constants(exact)
+    for name, expected in truth.items():
+        assert getattr(fit, name) == pytest.approx(expected, rel=1e-9)
+
+
+def test_fit_counts_report_consumed_rows():
+    _, obs = _synthesize(random.Random(5))
+    fit = fit_constants(obs)
+    by_kind = {}
+    for ob in obs:
+        by_kind[ob.kind] = by_kind.get(ob.kind, 0) + 1
+    assert fit.counts == by_kind
+
+
+def test_lstsq_rejects_degenerate_sweep():
+    # every route the same length: the per-link column is collinear with
+    # the intercept and the surface is unidentifiable
+    rows = [((1.0, 2.0, float(b)), 5_000.0 + 7.0 * b) for b in (16, 64, 128)]
+    with pytest.raises(ValueError, match="singular"):
+        lstsq(rows)
+
+
+def test_fit_requires_every_kind():
+    with pytest.raises(ValueError, match="'os'"):
+        fit_constants([Observation("oneway", 1.0, nbytes=16, links=2)])

@@ -1,0 +1,99 @@
+"""The datacenter workload-diversity family (incast / fan-out / streaming).
+
+Each shape must be a first-class citizen of the repo's existing gates:
+
+* registered in the chaos workload registry (lazily, via
+  ``make_workload``) and able to survive a generated fault schedule
+  with the delivery-contract audit on;
+* deterministic: the same (seed, scenario, workload) triple twice gives
+  bit-identical chaos digests, and the bench runner's digest is stable
+  across runs;
+* express-path invariant: the bench observables (counts + simulated
+  latencies) match bit for bit with the express path on and off, and
+  the perf harness's ``calib_workloads`` scenario passes its
+  equivalence oracle.
+"""
+
+import pytest
+
+from repro.bench.perf import QUICK, check_express_equivalence
+from repro.calib.workloads import (FanoutWorkload, IncastWorkload,
+                                   StreamingWorkload, percentile_ns,
+                                   run_workload_bench)
+from repro.chaos import ScheduleGenerator, run_chaos
+from repro.chaos.workloads import make_workload
+
+SHAPES = ("incast", "rpc_fanout", "streaming")
+
+#: reduced shape kwargs so the chaos matrix stays fast
+KW = {
+    "incast": {"senders": 3, "rounds": 3, "burst": 2},
+    "rpc_fanout": {"workers": 3, "rounds": 4},
+    "streaming": {"stages": 3, "messages": 8},
+}
+
+
+def _scenario(seed, family="mixed"):
+    return ScheduleGenerator(
+        seed, num_hosts=8, num_spines=2, num_procs=4, num_eps=4,
+        duration_ns=12_000_000, profile="mild",
+    ).generate(family)
+
+
+def test_make_workload_lazily_registers_the_family():
+    wl = make_workload("incast", senders=2, rounds=1)
+    assert isinstance(wl, IncastWorkload)
+    assert isinstance(make_workload("rpc_fanout"), FanoutWorkload)
+    assert isinstance(make_workload("streaming"), StreamingWorkload)
+    with pytest.raises(ValueError, match="unknown workload"):
+        make_workload("nope")
+
+
+def test_streaming_needs_two_stages():
+    with pytest.raises(ValueError):
+        StreamingWorkload(stages=1)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_shape_survives_chaos_with_contract_audit(shape):
+    report = run_chaos(_scenario(11), shape, **KW[shape])
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_shape_chaos_runs_are_bit_identical(shape):
+    a = run_chaos(_scenario(23), shape, **KW[shape])
+    b = run_chaos(_scenario(23), shape, **KW[shape])
+    assert a.digest == b.digest
+    assert (a.accepted, a.delivered, a.returned) == (
+        b.accepted, b.delivered, b.returned)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_bench_observables_are_express_invariant(shape):
+    on = run_workload_bench(shape, express=True, **KW[shape])
+    off = run_workload_bench(shape, express=False, **KW[shape])
+    assert on.digest == off.digest
+    assert (on.sent, on.handled, on.sim_ns) == (off.sent, off.handled, off.sim_ns)
+    assert on.latencies_ns == off.latencies_ns
+    # the shapes actually moved traffic
+    assert on.handled > 0 and on.ops > 0
+
+
+def test_bench_runner_is_deterministic():
+    a = run_workload_bench("incast", **KW["incast"])
+    b = run_workload_bench("incast", **KW["incast"])
+    assert a.digest == b.digest
+
+
+def test_perf_scenario_express_oracle():
+    on, off = check_express_equivalence("calib_workloads", QUICK)
+    assert on["checks"] == off["checks"]
+    assert on["checks"]["handled"] > 0
+
+
+def test_percentile_nearest_rank():
+    vals = [10, 20, 30, 40]
+    assert percentile_ns(vals, 50) == 20
+    assert percentile_ns(vals, 99) == 40
+    assert percentile_ns([], 50) == 0
