@@ -35,6 +35,7 @@ from .cluster.builder import Node
 from .cluster.config import ClusterConfig
 from .osim.segdriver import REPLACEMENT_POLICIES, ResidencyScoreboard
 from .sim.core import Interrupted, SimError
+from .tenant import Tenant, TenantRegistry, TenantSpec
 
 __all__ = [
     "Cluster",
@@ -52,12 +53,16 @@ __all__ = [
     "Node",
     "ResidencyScoreboard",
     "SimError",
+    "Tenant",
+    "TenantRegistry",
+    "TenantSpec",
     "Token",
     "VirtualNetwork",
     "new_endpoint",
     "parallel_vnet",
     "replacement_policies",
     "run_calibration",
+    "run_interference_bench",
     "star_vnet",
 ]
 
@@ -73,6 +78,20 @@ def run_calibration(smoke: bool = False, **kwargs):
     from .calib.sweep import run_calibration as _run
 
     return _run(smoke, **kwargs)
+
+
+def run_interference_bench(**kwargs):
+    """Run the tenant interference matrix; returns the gated result dict.
+
+    Exercises a (policy x chaos-profile x seed) matrix of noisy-neighbor
+    runs, audits each against the delivery contract and the quiet
+    tenant's :class:`~repro.chaos.IsolationSLO`, and gates determinism
+    plus express-path parity — see :mod:`repro.tenant.bench`.  Lazy
+    import so the facade stays light for programs that never bench.
+    """
+    from .tenant.bench import run_interference_bench as _run
+
+    return _run(**kwargs)
 
 
 def replacement_policies() -> list[str]:

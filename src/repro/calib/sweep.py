@@ -289,6 +289,7 @@ class CalibReport:
     failures: list[str] = field(default_factory=list)
     nondeterministic: list[str] = field(default_factory=list)
     workloads: list = field(default_factory=list)  # WorkloadBenchResult
+    contended: list = field(default_factory=list)  # ContendedCellResult
 
     @property
     def digest(self) -> str:
@@ -297,7 +298,30 @@ class CalibReport:
             h.update(c.digest.encode())
         for w in self.workloads:
             h.update(w.digest.encode())
+        for c in self.contended:
+            h.update(c.digest.encode())
         return h.hexdigest()
+
+    def _idle_headline(self, pattern: str, nbytes: int) -> Optional[float]:
+        """The matching idle leaf4/(0,1) cell's headline, if it ran."""
+        for c in self.cells:
+            if (c.cell.topology == "leaf4" and c.cell.pair == (0, 1)
+                    and c.cell.pattern == pattern
+                    and c.cell.nbytes == nbytes):
+                return c.headline_ns
+        return None
+
+    def contended_rows(self) -> list[dict]:
+        """Contended L/g next to the idle baseline, with inflation."""
+        rows = []
+        for c in self.contended:
+            idle = self._idle_headline(c.pattern, c.nbytes)
+            row = c.to_dict()
+            row["idle_ns"] = round(idle, 3) if idle is not None else None
+            row["inflation"] = (round(c.headline_ns / idle, 3)
+                                if idle else None)
+            rows.append(row)
+        return rows
 
     @property
     def ok(self) -> bool:
@@ -317,6 +341,7 @@ class CalibReport:
             "nondeterministic": self.nondeterministic,
             "cells": [c.to_dict() for c in self.cells],
             "workloads": [w.to_dict() for w in self.workloads],
+            "contended": self.contended_rows(),
         }
 
 
@@ -325,6 +350,7 @@ def run_calibration(smoke: bool = False, *, seed: int = 1999,
                     cells: Optional[Sequence[CalibCell]] = None,
                     verify_determinism: bool = False,
                     include_workloads: bool = True,
+                    include_contended: bool = True,
                     sim_factory: Callable = Simulator,
                     progress=None) -> CalibReport:
     """Run the sweep, fit, round-trip, and (optionally) the bench table.
@@ -383,6 +409,26 @@ def run_calibration(smoke: bool = False, *, seed: int = 1999,
                          f"{on.goodput_msgs_s / 1e3:7.1f} K msg/s  "
                          f"p50 {on.p50_us:8.1f} us  p99 {on.p99_us:8.1f} us  "
                          f"express on/off match")
+
+    if include_contended:
+        from .contended import run_contended_cell, run_contended_cells
+
+        report.contended = run_contended_cells(smoke=smoke, seed=seed)
+        if verify_determinism:
+            for c in report.contended:
+                again = run_contended_cell(
+                    c.pattern, variant=c.variant, nbytes=c.nbytes,
+                    rounds=c.samples, seed=seed)
+                if again.digest != c.digest:
+                    report.nondeterministic.append(
+                        f"{c.label}: digests differ across runs")
+        if progress is not None:
+            for row in report.contended_rows():
+                infl = (f"{row['inflation']:.2f}x idle"
+                        if row["inflation"] else "no idle baseline")
+                progress(f"  {row['cell']:>34}  "
+                         f"{row['headline_ns'] / 1e3:8.2f} us  ({infl}, "
+                         f"bulk {row['bulk_serviced']} msgs)")
     return report
 
 
@@ -448,6 +494,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "p99 us", "good K/s", "digest"],
             _workload_rows(report),
             title="workload-diversity bench (incast / fan-out / streaming)")
+    if report.contended:
+        print_table(
+            ["pattern", "variant", "contended us", "idle us", "inflation",
+             "bulk msgs", "throttled", "digest"],
+            [[r["pattern"], r["variant"], f"{r['headline_ns'] / 1e3:.2f}",
+              (f"{r['idle_ns'] / 1e3:.2f}" if r["idle_ns"] else "-"),
+              (f"{r['inflation']:.2f}x" if r["inflation"] else "-"),
+              r["bulk_serviced"], r["bulk_throttled"], r["digest"][:12]]
+             for r in report.contended_rows()],
+            title="contended L and g under a background bulk tenant")
 
     if args.out:
         with open(args.out, "w") as f:

@@ -27,7 +27,8 @@ Quick start::
     assert report.ok, report.violations
 """
 
-from .invariants import DeliveryChecker, Violation, check_quiescence
+from .invariants import (DeliveryChecker, IsolationSLO, Violation,
+                         check_isolation, check_quiescence)
 from .runner import ChaosReport, chaos_config, reset_global_ids, run_chaos, timeline_digest
 from .schedule import (PROFILES, SCENARIO_FAMILIES, FaultAction, Scenario,
                        ScheduleGenerator)
@@ -39,5 +40,6 @@ __all__ = [
     "ChaosWorkload", "PairwiseWorkload", "BulkWorkload", "ClientServerWorkload",
     "WORKLOADS", "make_workload",
     "DeliveryChecker", "Violation", "check_quiescence",
+    "IsolationSLO", "check_isolation",
     "ChaosReport", "chaos_config", "run_chaos", "reset_global_ids", "timeline_digest",
 ]

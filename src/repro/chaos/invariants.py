@@ -54,7 +54,7 @@ if TYPE_CHECKING:
     from .workloads import ChaosWorkload
 
 __all__ = ["Violation", "DeliveryChecker", "check_drop_accounting",
-           "check_quiescence"]
+           "check_quiescence", "IsolationSLO", "check_isolation"]
 
 #: the fabric's drop-reason vocabulary (NetworkStats.dropped_* fields)
 _DROP_REASONS = ("loss", "linkdown", "noroute", "dead_nic")
@@ -234,6 +234,96 @@ def check_drop_accounting(network, events: Iterable["TraceEvent"]) -> list[Viola
                 "D.mismatch",
                 f"network counted {counted} {reason!r} drop(s) but the trace "
                 f"has {traced[reason]} net.drop event(s) with that reason"))
+    return out
+
+
+@dataclass(frozen=True)
+class IsolationSLO:
+    """The quiet tenant's service-level objective under interference.
+
+    ``baseline_p99_ns`` is the quiet tenant's p99 RTT measured on a
+    *fault-free* run with the same tenant mix, seed and probe cadence —
+    the contention the operator admitted when placing both tenants on
+    the fabric.  ``max_p99_inflation`` then bounds what a fault storm
+    scoped to the noisy tenant may add on top: the gate isolates the
+    storm's effect from the admitted load's effect.
+    ``min_goodput_frac`` is the floor on answered probes — it must stay
+    strictly positive ("graceful degradation, never starvation").
+    """
+
+    baseline_p99_ns: int
+    max_p99_inflation: float = 3.0
+    min_goodput_frac: float = 0.5
+
+    def __post_init__(self):
+        if self.baseline_p99_ns <= 0:
+            raise ValueError("baseline_p99_ns must be positive")
+        if self.max_p99_inflation < 1.0:
+            raise ValueError("max_p99_inflation must be >= 1")
+        if not (0.0 < self.min_goodput_frac <= 1.0):
+            raise ValueError("min_goodput_frac must be in (0, 1]")
+
+
+def check_isolation(events: Iterable["TraceEvent"], workload,
+                    slo: IsolationSLO) -> list[Violation]:
+    """Audit tenant isolation after a storm scoped to the noisy tenant.
+
+    Four independent gates, all reported as ``ISO.*`` violations:
+
+    * **ISO.leak** — no injected fault may land on a quiet-tenant node:
+      the storm was scoped to the noisy fault domain, so a quiet-node
+      ``fault.inject`` means the scoping itself leaked.
+    * **ISO.contract** — the quiet tenant's delivery contract (I1–I3),
+      checked over *its own* event partition only.  The noisy tenant's
+      faults legitimately produce returns and re-deliveries on noisy
+      nodes; none of that may surface as a violation attributed to the
+      quiet tenant.
+    * **ISO.p99** — the quiet tenant's observed p99 RTT must stay within
+      ``max_p99_inflation`` of the fault-free baseline.
+    * **ISO.goodput** — answered probes must meet the goodput floor and
+      may never be zero.
+
+    ``workload`` is an :class:`repro.tenant.interference.InterferenceWorkload`
+    (anything with ``quiet_nodes``, ``pings``, ``quiet_answered`` and
+    ``bench_latencies_ns()`` works).
+    """
+    from ..calib.workloads import percentile_ns
+
+    out: list[Violation] = []
+    events = list(events)
+    quiet_nodes = set(workload.quiet_nodes)
+
+    for ev in events:
+        if ev.kind == "fault.inject" and ev.node in quiet_nodes:
+            out.append(Violation(
+                "ISO.leak",
+                f"fault {ev.get('action')!r} injected on quiet-tenant "
+                f"node {ev.node} despite noisy-scoped storm", ts=ev.ts))
+
+    quiet_events = [ev for ev in events if ev.node in quiet_nodes]
+    for v in DeliveryChecker(quiet_events).check():
+        out.append(Violation("ISO.contract." + v.invariant, v.detail,
+                             v.msg_id, v.ts))
+
+    lats = workload.bench_latencies_ns()
+    p99 = percentile_ns(lats, 99)
+    bound = round(slo.baseline_p99_ns * slo.max_p99_inflation)
+    if p99 > bound:
+        out.append(Violation(
+            "ISO.p99",
+            f"quiet-tenant p99 RTT {p99}ns exceeds {slo.max_p99_inflation}x "
+            f"idle baseline {slo.baseline_p99_ns}ns (bound {bound}ns)"))
+
+    answered = workload.quiet_answered
+    floor = slo.min_goodput_frac * workload.pings
+    if answered == 0:
+        out.append(Violation(
+            "ISO.goodput", "quiet tenant starved: zero probes answered"))
+    elif answered < floor:
+        out.append(Violation(
+            "ISO.goodput",
+            f"quiet tenant answered {answered}/{workload.pings} probes, "
+            f"below the {slo.min_goodput_frac:.0%} floor"))
     return out
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 __all__ = ["FaultAction", "Scenario", "ScheduleGenerator", "SCENARIO_FAMILIES", "PROFILES"]
 
@@ -65,6 +66,7 @@ SCENARIO_FAMILIES = (
     "pause_storm",
     "evict_pressure",
     "mixed",
+    "tenant_storm",
 )
 
 
@@ -160,6 +162,18 @@ class ScheduleGenerator:
     into the workload's process and endpoint lists — index 0 is reserved
     as the observer/server side and never killed, so every run retains at
     least one live traffic source to witness return-to-sender).
+
+    **Fault domains** (tenant-scoped storms): ``host_pool``,
+    ``proc_pool`` and ``ep_pool`` restrict which indices the generated
+    actions may target — e.g. a storm scoped to the noisy tenant passes
+    that tenant's host/process/endpoint indices only.  The defaults are
+    the full ranges and draw *bit-identically* to the unscoped
+    generator (``pool[rng.randrange(len(pool))]`` consumes the same RNG
+    state as ``rng.randrange(n)`` when the pool is ``range(n)``), so
+    every previously pinned schedule digest is unchanged.  Spine flaps
+    and loss/corruption ramps are fabric-wide by nature and therefore
+    not poolable; the ``tenant_storm`` family composes only host-scoped
+    disturbances (host-link flaps, crash/reboot, kill, pause, evict).
     """
 
     def __init__(
@@ -172,6 +186,9 @@ class ScheduleGenerator:
         num_eps: int,
         duration_ns: int = 20_000_000,
         profile: str = "rough",
+        host_pool: Optional[Sequence[int]] = None,
+        proc_pool: Optional[Sequence[int]] = None,
+        ep_pool: Optional[Sequence[int]] = None,
     ):
         if profile not in PROFILES:
             raise ValueError(f"unknown profile {profile!r}")
@@ -183,6 +200,16 @@ class ScheduleGenerator:
         self.duration_ns = duration_ns
         self.profile = profile
         self.intensity = PROFILES[profile]
+        self.host_pool = list(host_pool) if host_pool is not None else list(range(num_hosts))
+        self.proc_pool = list(proc_pool) if proc_pool is not None else list(range(num_procs))
+        self.ep_pool = list(ep_pool) if ep_pool is not None else list(range(max(1, num_eps)))
+        for name, pool, bound in (("host_pool", self.host_pool, num_hosts),
+                                  ("proc_pool", self.proc_pool, num_procs),
+                                  ("ep_pool", self.ep_pool, max(1, num_eps))):
+            if not pool:
+                raise ValueError(f"{name} must not be empty")
+            if any(i < 0 or i >= bound for i in pool):
+                raise ValueError(f"{name} {pool} outside [0, {bound})")
 
     # ------------------------------------------------------------- plumbing
     def _rng(self, name: str) -> random.Random:
@@ -238,11 +265,11 @@ class ScheduleGenerator:
             "corruption_ramp",
             self._ramp("set_corruption", self.intensity["corrupt_peak"], rng))
 
-    def _flaps(self, rng: random.Random, kind: str, population: int) -> list[FaultAction]:
+    def _flaps(self, rng: random.Random, kind: str, pool: Sequence[int]) -> list[FaultAction]:
         acts: list[FaultAction] = []
         n = int(self.intensity["flaps"])
         for _ in range(n):
-            target = rng.randrange(population)
+            target = pool[rng.randrange(len(pool))]
             down_at = round(self.duration_ns * 0.6 * rng.random())
             up_at = down_at + self._window(rng, self.intensity["outage_frac"])
             up_at = min(up_at, self.duration_ns - 1)
@@ -275,18 +302,19 @@ class ScheduleGenerator:
         rng = self._rng("spine_flaps")
         if self.num_spines == 0:
             return self._scenario("spine_flaps", [])  # single-leaf fabric
-        return self._scenario("spine_flaps", self._flaps(rng, "spine", self.num_spines))
+        return self._scenario("spine_flaps",
+                              self._flaps(rng, "spine", range(self.num_spines)))
 
     def _gen_hostlink_flaps(self) -> Scenario:
         rng = self._rng("hostlink_flaps")
-        return self._scenario("hostlink_flaps", self._flaps(rng, "hostlink", self.num_hosts))
+        return self._scenario("hostlink_flaps",
+                              self._flaps(rng, "hostlink", self.host_pool))
 
-    def _gen_crash_storm(self) -> Scenario:
-        rng = self._rng("crash_storm")
+    def _crashes(self, rng: random.Random) -> list[FaultAction]:
         acts: list[FaultAction] = []
         busy_until: dict[int, int] = {}
         for _ in range(int(self.intensity["crashes"])):
-            node = rng.randrange(self.num_hosts)
+            node = self.host_pool[rng.randrange(len(self.host_pool))]
             crash_at = round(self.duration_ns * 0.5 * rng.random())
             crash_at = max(crash_at, busy_until.get(node, 0))
             boot_at = min(crash_at + self._window(rng, self.intensity["outage_frac"]),
@@ -296,28 +324,32 @@ class ScheduleGenerator:
             busy_until[node] = boot_at + 1
             acts.append(FaultAction(crash_at, "crash", (node,)))
             acts.append(FaultAction(boot_at, "reboot", (node,)))
-        return self._scenario("crash_storm", acts)
+        return acts
 
-    def _gen_kill_storm(self) -> Scenario:
-        rng = self._rng("kill_storm")
+    def _gen_crash_storm(self) -> Scenario:
+        return self._scenario("crash_storm", self._crashes(self._rng("crash_storm")))
+
+    def _kills(self, rng: random.Random) -> list[FaultAction]:
         acts: list[FaultAction] = []
         # Never kill proc 0 (the server/observer side): someone must stay
         # alive to witness the returns.
-        victims = list(range(1, self.num_procs))
+        victims = [p for p in self.proc_pool if p != 0]
         rng.shuffle(victims)
         for proc in victims[: int(self.intensity["kills"])]:
             # Early in the run, so the kill lands while traffic to/from the
             # victim is still in flight and return-to-sender is exercised.
             at = round(self.duration_ns * (0.02 + 0.15 * rng.random()))
             acts.append(FaultAction(at, "kill_proc", (proc,)))
-        return self._scenario("kill_storm", acts)
+        return acts
 
-    def _gen_pause_storm(self) -> Scenario:
-        rng = self._rng("pause_storm")
+    def _gen_kill_storm(self) -> Scenario:
+        return self._scenario("kill_storm", self._kills(self._rng("kill_storm")))
+
+    def _pauses(self, rng: random.Random) -> list[FaultAction]:
         acts: list[FaultAction] = []
         busy_until: dict[int, int] = {}
         for _ in range(int(self.intensity["pauses"])):
-            proc = rng.randrange(self.num_procs)
+            proc = self.proc_pool[rng.randrange(len(self.proc_pool))]
             at = round(self.duration_ns * 0.5 * rng.random())
             at = max(at, busy_until.get(proc, 0))
             until = min(at + self._window(rng, self.intensity["outage_frac"]),
@@ -327,16 +359,48 @@ class ScheduleGenerator:
             busy_until[proc] = until + 1
             acts.append(FaultAction(at, "pause_proc", (proc,)))
             acts.append(FaultAction(until, "resume_proc", (proc,)))
-        return self._scenario("pause_storm", acts)
+        return acts
 
-    def _gen_evict_pressure(self) -> Scenario:
-        rng = self._rng("evict_pressure")
+    def _gen_pause_storm(self) -> Scenario:
+        return self._scenario("pause_storm", self._pauses(self._rng("pause_storm")))
+
+    def _evicts(self, rng: random.Random) -> list[FaultAction]:
         acts = []
         for _ in range(int(self.intensity["evicts"])):
-            ep = rng.randrange(max(1, self.num_eps))
+            ep = self.ep_pool[rng.randrange(len(self.ep_pool))]
             at = round(self.duration_ns * 0.7 * rng.random())
             acts.append(FaultAction(at, "evict_ep", (ep,)))
-        return self._scenario("evict_pressure", acts)
+        return acts
+
+    def _gen_evict_pressure(self) -> Scenario:
+        return self._scenario("evict_pressure", self._evicts(self._rng("evict_pressure")))
+
+    def _gen_tenant_storm(self) -> Scenario:
+        """Every host-scoped disturbance at once, confined to the pools.
+
+        The fault-domain scenario: with ``host_pool``/``proc_pool``/
+        ``ep_pool`` set to one tenant's indices, this storm rains
+        host-link flaps, a crash/reboot, kills, pauses and forced
+        evictions on that tenant only — the other tenants see a healthy
+        fabric except for whatever interference leaks through shared
+        resources, which is exactly what ``check_isolation`` audits.
+        """
+        pieces: list[FaultAction] = []
+        pieces += self._flaps(self._rng("tenant.flap"), "hostlink", self.host_pool)
+        pieces += self._crashes(self._rng("tenant.crash"))
+        kills = self._kills(self._rng("tenant.kill"))
+        pieces += kills
+        killed_at = {a.params[0]: a.at_ns for a in kills}
+        # A pause landing on (or after) a kill of the same process would
+        # make the scenario ill-formed; drop the whole pause/resume pair.
+        pauses = self._pauses(self._rng("tenant.pause"))
+        dead_pairs = {a.params[0] for a in pauses
+                      if a.kind == "pause_proc"
+                      and a.params[0] in killed_at
+                      and a.at_ns >= killed_at[a.params[0]]}
+        pieces += [a for a in pauses if a.params[0] not in dead_pairs]
+        pieces += self._evicts(self._rng("tenant.evict"))
+        return self._scenario("tenant_storm", pieces)
 
     def _gen_mixed(self) -> Scenario:
         """A bit of everything, composed from the other families."""
@@ -344,18 +408,20 @@ class ScheduleGenerator:
         pieces += self._ramp("set_loss", self.intensity["loss_peak"] / 2,
                              self._rng("mixed.loss"))
         if self.num_spines:
-            pieces += self._flaps(self._rng("mixed.spine"), "spine", self.num_spines)
+            pieces += self._flaps(self._rng("mixed.spine"), "spine",
+                                  range(self.num_spines))
         rng = self._rng("mixed.crash")
-        node = rng.randrange(self.num_hosts)
+        node = self.host_pool[rng.randrange(len(self.host_pool))]
         crash_at = round(self.duration_ns * 0.3 * rng.random())
         boot_at = min(crash_at + self._window(rng, self.intensity["outage_frac"]),
                       self.duration_ns - 1)
         if boot_at > crash_at:
             pieces.append(FaultAction(crash_at, "crash", (node,)))
             pieces.append(FaultAction(boot_at, "reboot", (node,)))
-        if self.num_procs > 1 and self.intensity["kills"]:
+        killable = [p for p in self.proc_pool if p != 0]
+        if killable and self.intensity["kills"]:
             kr = self._rng("mixed.kill")
-            proc = 1 + kr.randrange(self.num_procs - 1)
+            proc = killable[kr.randrange(len(killable))]
             pieces.append(FaultAction(
                 round(self.duration_ns * (0.35 + 0.2 * kr.random())),
                 "kill_proc", (proc,)))

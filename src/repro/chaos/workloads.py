@@ -315,12 +315,13 @@ def make_workload(name: str, **kwargs) -> ChaosWorkload:
     cls = WORKLOADS.get(name)
     if cls is None:
         # The datacenter-diversity family (incast, rpc_fanout, streaming)
-        # lives in repro.calib.workloads and registers itself into
-        # WORKLOADS on import; pull it in lazily so the chaos package
-        # stays importable without the calibration harness loaded.
+        # and the tenant interference shape live in other packages and
+        # register themselves into WORKLOADS on import; pull them in
+        # lazily so the chaos package stays importable on its own.
         import importlib
 
         importlib.import_module("repro.calib.workloads")
+        importlib.import_module("repro.tenant.interference")
         cls = WORKLOADS.get(name)
     if cls is None:
         raise ValueError(f"unknown workload {name!r} (choose from {sorted(WORKLOADS)})")

@@ -270,6 +270,14 @@ class ClusterConfig:
     #: timelines are bit-identical either way, which repro.bench.perf's
     #: net_burst oracle enforces in CI.
     express_path: bool = True
+    #: quiet period after the most recent fault injection (or direct
+    #: link/switch flip) before the express path re-arms, provided every
+    #: link and switch is back up.  0 restores the old sticky behaviour:
+    #: the first fault demotes the whole rest of the run.  Re-arming is
+    #: sound because loss/corruption are applied before the express
+    #: attempt and route caching degrades to per-send recomputation once
+    #: the fabric has ever been reconfigured.
+    express_reenable_quiet_us: float = 200.0
 
     # --------------------------------------------------------------- faults
     #: transient packet loss probability (transmission errors are rare on
@@ -349,6 +357,8 @@ class ClusterConfig:
             )
         if self.eviction_hysteresis_us < 0:
             raise ValueError("eviction_hysteresis_us must be >= 0")
+        if self.express_reenable_quiet_us < 0:
+            raise ValueError("express_reenable_quiet_us must be >= 0")
         if self.thrash_window < 1:
             raise ValueError("thrash_window must be >= 1")
         if self.thrash_bounce_us < 0:

@@ -43,6 +43,10 @@ class DirectedLink:
         self.busy_until = 0
         #: the express flight currently claiming this link, if any
         self.express_flight: Optional[Any] = None
+        #: live wormhole traversals whose route includes this link;
+        #: maintained by the Network so the express path only falls back
+        #: when a slow packet could actually contend for *this* link
+        self.slow_refs = 0
         #: fabric hook fired on every administrative up/down flip
         self.on_state_change: Optional[Callable[["DirectedLink"], None]] = None
 

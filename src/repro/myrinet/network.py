@@ -21,13 +21,19 @@ known at send time.  ``Network.send`` therefore commits an **express
 flight** — one pooled callback at the precomputed tail-arrival time —
 whenever all of the following hold:
 
-* ``cfg.express_path`` is on and no fault has fired this run (any
-  injection, or any direct flip of a link/switch ``up`` attribute,
-  permanently disables the path and demotes committed flights);
+* ``cfg.express_path`` is on and the path is currently armed: any
+  fault injection, or any direct flip of a link/switch ``up``
+  attribute, disarms it and demotes committed flights.  Disarming is
+  no longer sticky for the whole run: once every link and switch is
+  back up and ``cfg.express_reenable_quiet_us`` has elapsed since the
+  most recent fault event, the next send re-arms the path (0 restores
+  the old permanent disable);
 * hop-level tracing is off (``sim.trace.enabled``), so the elided
   ``sim.spawn``/``sim.exit`` events are unobservable;
-* no wormhole process is in flight anywhere in the fabric, and every
-  link on the (cached) route is idle with no express occupancy claim.
+* no wormhole process is in flight *on any link of this route*
+  (per-link ``slow_refs`` — a slow packet crossing a disjoint part of
+  the fabric no longer forces a fallback), and every link on the
+  (cached) route is idle with no express occupancy claim.
 
 Soundness rests on *revocation*: a committed flight's timeline is only
 valid while its links stay untouched, so any later send whose route
@@ -85,8 +91,11 @@ class ExpressStats:
     revoked: int = 0
     #: sends that fell back because a route link was occupied or claimed
     fallback_busy: int = 0
-    #: sends that fell back because wormhole processes were in flight
+    #: sends that fell back because a wormhole process was in flight on
+    #: a link of *this* route (or not yet attributable to its links)
     fallback_active: int = 0
+    #: times the path re-armed after a quiet period following a fault
+    reenabled: int = 0
 
     def hits(self) -> int:
         return self.commits + self.loopback
@@ -144,11 +153,19 @@ class Network:
         #: per-hop head advance: cut-through + cable + header serialization
         self._hop_ns = (cfg.switch_latency_ns + cfg.cable_latency_ns
                         + round(cfg.packet_header_bytes * cfg.link_byte_ns))
-        #: express engages only until the first fault/reconfiguration
-        self._express_enabled = bool(cfg.express_path)
+        #: express engages while armed; faults disarm it (and, with a
+        #: nonzero quiet window, a healthy fabric re-arms it later)
+        self._express_configured = bool(cfg.express_path)
+        self._express_enabled = self._express_configured
+        self._reenable_ns = round(cfg.express_reenable_quiet_us * 1_000.0)
+        #: earliest time the path may re-arm (None = nothing pending)
+        self._rearm_at: Optional[int] = None
+        #: id()s of links/switches currently administratively down
+        self._down: set[int] = set()
         self._flights: list[_ExpressFlight] = []
-        #: wormhole (non-loopback) traversal processes currently alive
-        self._slow_active = 0
+        #: slow sends spawned but not yet attributed to their route's
+        #: links (the window between send() and the process's first step)
+        self._slow_pending = 0
         # Observe every administrative state flip, however it happens.
         for sw in self.topology.switches:
             sw.on_state_change = self._fabric_changed
@@ -195,20 +212,30 @@ class Network:
         return self._express_enabled
 
     def on_fault(self) -> None:
-        """Any fault injection permanently disables the express path for
-        the rest of the run and demotes committed flights to wormhole
-        processes (conservative: the equivalence argument then holds
-        trivially for everything that happens after the injection)."""
+        """Any fault injection disarms the express path and demotes
+        committed flights to wormhole processes (conservative: the
+        equivalence argument then holds trivially for everything after
+        the injection).  With ``cfg.express_reenable_quiet_us`` > 0 the
+        disarm is hysteretic rather than sticky: a quiet period after
+        the *latest* fault, with every link and switch back up, re-arms
+        the path on the next send — so one transient flap no longer
+        demotes the remainder of a long run."""
+        if self._express_configured and self._reenable_ns > 0:
+            self._rearm_at = self.sim.now + self._reenable_ns
         if self._express_enabled:
             self._express_enabled = False
             while self._flights:
                 self._revoke(self._flights[0])
 
-    def _fabric_changed(self, _obj) -> None:
+    def _fabric_changed(self, obj) -> None:
         # A switch or link flipped state (fault injector or a test poking
         # ``.up`` directly): cached routes are stale and every committed
         # flight's timeline is suspect.
         self.topology.mark_dirty()
+        if obj.up:
+            self._down.discard(id(obj))
+        else:
+            self._down.add(id(obj))
         self.on_fault()
 
     # ------------------------------------------------------------- sending
@@ -223,14 +250,20 @@ class Network:
             return
         if self.cfg.packet_corrupt_prob and self.rng.random() < self.cfg.packet_corrupt_prob:
             pkt.corrupted = True
+        if (not self._express_enabled and self._rearm_at is not None
+                and not self._down and self.sim.now >= self._rearm_at):
+            self._express_enabled = True
+            self._rearm_at = None
+            self.express.reenabled += 1
         if self._express_enabled and not self.sim.trace.enabled and self._try_express(pkt):
             return
         if pkt.src_nic == pkt.dst_nic:
             self.sim.spawn(self._traverse_loopback(pkt), name=f"pkt{pkt.xmit_id}")
             return
         # Counted *before* the process first runs so a same-tick express
-        # attempt cannot miss it.
-        self._slow_active += 1
+        # attempt cannot miss it; the process converts the pending count
+        # into per-link slow_refs once it knows its route.
+        self._slow_pending += 1
         self.sim.spawn(self._traverse(pkt), name=f"pkt{pkt.xmit_id}")
 
     # ------------------------------------------------------- express path
@@ -250,11 +283,16 @@ class Network:
         for link in route:
             if link.express_flight is not None:
                 self._revoke(link.express_flight)
-        if self._slow_active:
+        if self._slow_pending:
+            # A slow send was just spawned and has not yet published its
+            # route; it could be headed for any link, so be conservative.
             self.express.fallback_active += 1
             return False
         now = sim.now
         for link in route:
+            if link.slow_refs:
+                self.express.fallback_active += 1
+                return False
             if not link._port.idle or link.busy_until > now:
                 self.express.fallback_busy += 1
                 return False
@@ -331,7 +369,10 @@ class Network:
                 sim.call_after(fa - now, route[j].release)
         if not route[m].try_acquire():
             raise SimError(f"express flight lost head link {route[m].name}")
-        self._slow_active += 1
+        # The resumed wormhole can still contend on the links it has not
+        # exited yet; links already fully freed stay unmarked.
+        for link in route[m:]:
+            link.slow_refs += 1
         self.express.revoked += 1
         sim.spawn(self._resume_traverse(fl, m, acquired_at), name=f"pkt{fl.pkt.xmit_id}")
 
@@ -348,7 +389,8 @@ class Network:
             yield from self._run_route(fl.pkt, route, fl.nbytes, m + 1,
                                        acquired_at, held)
         finally:
-            self._slow_active -= 1
+            for link in route[m:]:
+                link.slow_refs -= 1
 
     # ----------------------------------------------------------- delivery
     def _deliver(self, pkt: Packet):
@@ -388,8 +430,13 @@ class Network:
             yield pending
 
     def _traverse(self, pkt: Packet):
+        route = self.topology.cached_route(pkt.src_nic, pkt.dst_nic, pkt.channel)
+        if route is not None:
+            for link in route:
+                link.slow_refs += 1
+        # Route published (or there is none): stop being "pending".
+        self._slow_pending -= 1
         try:
-            route = self.topology.cached_route(pkt.src_nic, pkt.dst_nic, pkt.channel)
             if route is None:
                 self.stats.dropped_noroute += 1
                 if self.sim.trace.enabled:
@@ -399,7 +446,9 @@ class Network:
             nbytes = pkt.wire_bytes(self.cfg.packet_header_bytes)
             yield from self._run_route(pkt, route, nbytes, 0, [], [])
         finally:
-            self._slow_active -= 1
+            if route is not None:
+                for link in route:
+                    link.slow_refs -= 1
 
     def _run_route(self, pkt: Packet, route: list[DirectedLink], nbytes: int,
                    start: int, acquired_at: list[int], held: list[DirectedLink]):

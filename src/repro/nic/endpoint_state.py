@@ -106,6 +106,14 @@ class EndpointState:
         self.event_callback: Optional[Callable[[str], None]] = None
         #: endpoints marked shared pay a lock cost per operation (§3.3)
         self.shared = False
+        #: the :class:`repro.tenant.Tenant` this endpoint belongs to, or
+        #: None (untenanted endpoints behave exactly as before: weight 1,
+        #: no rate limit, no frame reservation).  Set via Tenant.adopt().
+        self.tenant: Optional[Any] = None
+
+        #: deficit carried between NI service visits when tenant rate
+        #: limiting cut a visit short of its weighted quantum (messages)
+        self.service_deficit = 0
 
         #: WRR bookkeeping: True while queued in the NI service rotation
         self.in_rotation = False

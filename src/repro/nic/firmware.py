@@ -124,6 +124,10 @@ class Nic:
         self._cur: Optional[EndpointState] = None
         self._cur_count = 0
         self._cur_since = 0
+        #: endpoints deferred because their tenant's token bucket was
+        #: empty: (ready_ns, tiebreak, ep) heap, re-admitted to the
+        #: rotation once the bucket has refilled
+        self._throttled: list = []
 
         #: retransmission timers: (deadline, tiebreak, channel, gen)
         self._timers: list = []
@@ -321,27 +325,63 @@ class Nic:
             ep.in_rotation = True
             self._rotation.append(ep)
 
+    def _park_throttled(self, ep: EndpointState, ready_ns: int) -> None:
+        heapq.heappush(self._throttled, (ready_ns, next(self._tie), ep))
+
+    def _readmit_throttled(self, now: int) -> None:
+        while self._throttled and self._throttled[0][0] <= now:
+            _, _, ep = heapq.heappop(self._throttled)
+            if ep.has_sendable():
+                self._enqueue_rotation(ep)
+
     def _next_service_ep(self) -> Optional[EndpointState]:
+        """Weighted deficit rotation across endpoints (tenant-aware §5.2).
+
+        Untenanted endpoints keep the plain WRR loiter budget.  A tenant
+        endpoint's visit quantum scales with its tenant's service weight
+        (``weight × wrr_max_msgs`` messages / ``weight × wrr_max_ns``),
+        and a visit cut short because the tenant's token bucket ran dry
+        carries the unused quantum — bounded to one full quantum — as a
+        deficit for the endpoint's next visit.
+        """
         cfg = self.cfg
-        # Loiter on the current endpoint within the WRR budget (§5.2).
+        now = self.sim.now
+        if self._throttled:
+            self._readmit_throttled(now)
+        # Loiter on the current endpoint within its weighted budget.
         if self._cur is not None:
             ep = self._cur
+            tenant = ep.tenant
+            w = tenant.spec.weight if tenant is not None else 1
+            budget = cfg.wrr_max_msgs * w + ep.service_deficit
             within = (
-                self._cur_count < cfg.wrr_max_msgs
-                and self.sim.now - self._cur_since < cfg.wrr_max_ns
+                self._cur_count < budget
+                and now - self._cur_since < cfg.wrr_max_ns * w
             )
             if within and ep.has_sendable() and self._idle_channel(ep.send_ring[0].dst_node):
-                return ep
-            self._cur = None
-            if ep.has_sendable():
-                if self._idle_channel(ep.send_ring[0].dst_node):
-                    self._rotation.append(ep)  # budget spent: go to the back
-                else:
-                    # Just-served endpoint yields to waiters that never ran.
-                    ep.in_rotation = False
-                    self._block_on_peer(ep, ep.send_ring[0].dst_node, front=False)
-            else:
+                if tenant is None or tenant.bucket is None \
+                        or tenant.bucket.try_take(now):
+                    return ep
+                # Rate limited mid-visit: defer to the bucket's refill,
+                # carrying the unserved quantum as (bounded) deficit.
+                tenant.stats.throttled += 1
+                ep.service_deficit = min(budget - self._cur_count,
+                                         cfg.wrr_max_msgs * w)
+                self._cur = None
                 ep.in_rotation = False
+                self._park_throttled(ep, tenant.bucket.ready_at(now))
+            else:
+                self._cur = None
+                ep.service_deficit = 0  # quantum consumed or ring drained
+                if ep.has_sendable():
+                    if self._idle_channel(ep.send_ring[0].dst_node):
+                        self._rotation.append(ep)  # budget spent: to the back
+                    else:
+                        # Just-served endpoint yields to waiters that never ran.
+                        ep.in_rotation = False
+                        self._block_on_peer(ep, ep.send_ring[0].dst_node, front=False)
+                else:
+                    ep.in_rotation = False
         scanned = 0
         while self._rotation:
             ep = self._rotation.popleft()
@@ -355,9 +395,16 @@ class Nic:
                 ep.in_rotation = False
                 self._block_on_peer(ep, ep.send_ring[0].dst_node, front=True)
                 continue
+            tenant = ep.tenant
+            if tenant is not None and tenant.bucket is not None \
+                    and not tenant.bucket.try_take(now):
+                tenant.stats.throttled += 1
+                ep.in_rotation = False
+                self._park_throttled(ep, tenant.bucket.ready_at(now))
+                continue
             self._cur = ep
             self._cur_count = 0
-            self._cur_since = self.sim.now
+            self._cur_since = now
             if scanned > 1:
                 self.meter.cost_ns("poll_scan", (scanned - 1) * self.cfg.ni_poll_ep_instr)
             return ep
@@ -396,6 +443,8 @@ class Nic:
         ep.last_active_ns = self.sim.now
         ep.referenced = True
         self._cur_count += 1
+        if ep.tenant is not None:
+            ep.tenant.stats.msgs_serviced += 1
         msg.state = MessageState.BOUND
         ep.inflight += 1
         yield self.sim.timeout(self.meter.cost_ns("send", cfg.ni_send_instr))
@@ -579,6 +628,12 @@ class Nic:
             if best is None or deadline < best:
                 best = deadline
             break
+        if self._throttled:
+            # Wake when the earliest rate-limited endpoint's tenant
+            # bucket has refilled (spurious wakes are harmless).
+            ready = self._throttled[0][0]
+            if best is None or ready < best:
+                best = ready
         return best
 
     def _handle_timer(self, ch: TxChannel):

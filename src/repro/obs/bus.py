@@ -116,6 +116,31 @@ class TraceBus:
         m.counter("net.express.fallback.busy").value = x.fallback_busy
         m.counter("net.express.fallback.active").value = x.fallback_active
 
+    def publish_tenants(self, registry) -> None:
+        """Snapshot per-tenant isolation counters into the metric registry.
+
+        ``registry`` is a :class:`repro.tenant.TenantRegistry`.  Publishes
+        each tenant's service/throttle/eviction counters plus two gauges:
+        resident frames currently held and the total send-service deficit
+        carried by its endpoints (rate-limit debt the weighted rotation
+        still owes).  Call after a run; like :meth:`publish_network`, the
+        counters are plain integers kept on both traced and untraced
+        paths, so reading them perturbs nothing.
+        """
+        m = self.metrics
+        for tenant in registry:
+            labels = {"tenant": tenant.name}
+            s = tenant.stats
+            m.counter("tenant.msgs_serviced", **labels).value = s.msgs_serviced
+            m.counter("tenant.throttled", **labels).value = s.throttled
+            m.counter("tenant.evictions.suffered", **labels).value = s.evictions_suffered
+            m.counter("tenant.evictions.caused", **labels).value = s.evictions_caused
+            m.counter("tenant.reservation_vetoes", **labels).value = s.reservation_vetoes
+            m.counter("tenant.quota_self_evictions", **labels).value = s.quota_self_evictions
+            m.gauge("tenant.frames_held", **labels).set(tenant.frames_held())
+            m.gauge("tenant.service_deficit", **labels).set(
+                sum(ep.service_deficit for ep in tenant.endpoints))
+
     # -------------------------------------------------------------- queries
     def __len__(self) -> int:
         return len(self.events)

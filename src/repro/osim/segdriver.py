@@ -478,9 +478,10 @@ class SegmentDriver:
         frame = self.nic.free_frame_index()
         evicted = False
         if frame is None:
-            victim = self._choose_victim()
+            victim = self._choose_victim(ep)
             if victim is None:
-                # Everything is quiescing or in transition; retry shortly.
+                # Everything is quiescing, in transition, or protected by
+                # a tenant reservation; retry shortly.
                 ep.transition = False
                 self.sim.schedule(us(cfg.remap_scan_period_us), self.request_remap, ep)
                 return
@@ -488,6 +489,7 @@ class SegmentDriver:
             evicted = True
             self.stats.evictions += 1
             self.scoreboard.record_eviction(victim)
+            self._attribute_eviction(ep, victim)
             if self.sim.trace.enabled:
                 self.sim.trace.emit("ep.evict", self.nic.nic_id, ep=victim.ep_id,
                                     for_ep=ep.ep_id)
@@ -522,20 +524,58 @@ class SegmentDriver:
                                 dur_ns=self.sim.now - remap_start)
         self._wake_resident_waiters(ep)
 
-    def _choose_victim(self) -> Optional[EndpointState]:
+    def _choose_victim(self, requester: Optional[EndpointState] = None) -> Optional[EndpointState]:
         """Pick an eviction victim via the configured policy (§4.1).
 
         Hysteresis: endpoints loaded within the last
         ``eviction_hysteresis_us`` are exempted, unless *every* candidate
         is that fresh (a frame must still be found, so protection yields
         rather than deadlocking the remap engine).
+
+        Tenant isolation (two hard rules, applied before the policy):
+
+        * **Reservation veto** — a cross-tenant candidate may not be
+          evicted if doing so would drop its tenant at or below its
+          ``frame_reservation`` on this NIC.  A tenant may still evict
+          *its own* endpoints below its reservation (it is spending its
+          own guarantee).
+        * **Quota self-paging** — a requester whose tenant already holds
+          ``frame_quota`` frames on this NIC may only victimize that
+          tenant's own endpoints.
+
+        Either rule may empty the candidate list; the driver then retries
+        after ``remap_scan_period_us`` rather than violating a guarantee
+        (``TenantRegistry.validate_against`` keeps reservations
+        co-satisfiable, so the retry always terminates once frames drain).
         """
+        req_tenant = requester.tenant if requester is not None else None
+        node = self.nic.nic_id
         candidates = [
             cand
             for cand in self.nic.resident_endpoints()
             if not cand.quiescing and not cand.transition
             and cand.residency is not Residency.FREED
         ]
+        if not candidates:
+            return None
+        if req_tenant is not None and req_tenant.spec.frame_quota is not None:
+            if req_tenant.frames_held(node) >= req_tenant.spec.frame_quota:
+                candidates = [c for c in candidates if c.tenant is req_tenant]
+                if not candidates:
+                    return None
+        vetoed = 0
+        allowed = []
+        for cand in candidates:
+            ct = cand.tenant
+            if (ct is not None and ct is not req_tenant
+                    and ct.frames_held(node) <= ct.spec.frame_reservation):
+                ct.stats.reservation_vetoes += 1
+                vetoed += 1
+                continue
+            allowed.append(cand)
+        if vetoed and self.sim.trace.enabled:
+            self.sim.trace.emit("tenant.veto", node, count=vetoed)
+        candidates = allowed
         if not candidates:
             return None
         if self._hysteresis_ns > 0:
@@ -547,6 +587,18 @@ class SegmentDriver:
                 self.scoreboard.hysteresis_vetoes += len(candidates) - len(seasoned)
                 candidates = seasoned
         return self.policy.choose(candidates)
+
+    def _attribute_eviction(self, requester: EndpointState, victim: EndpointState) -> None:
+        """Per-tenant eviction attribution (who caused / who suffered)."""
+        rt = requester.tenant
+        vt = victim.tenant
+        if vt is not None and vt is not rt:
+            vt.stats.evictions_suffered += 1
+        if rt is not None:
+            if vt is rt:
+                rt.stats.quota_self_evictions += 1
+            else:
+                rt.stats.evictions_caused += 1
 
     def _observe_residency(self) -> None:
         """Surface scoreboard counters through repro.obs (observer-only)."""

@@ -1,0 +1,7 @@
+"""Multi-tenant isolation layer over the virtual-network fabric."""
+
+from .core import (Tenant, TenantRegistry, TenantSpec, TenantStats,
+                   TokenBucket)
+
+__all__ = ["TenantSpec", "TenantStats", "TokenBucket", "Tenant",
+           "TenantRegistry"]

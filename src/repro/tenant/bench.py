@@ -1,0 +1,345 @@
+"""The tenant interference matrix: isolation SLOs audited under storms.
+
+Runs :class:`repro.tenant.interference.InterferenceWorkload` across a
+(policy x chaos-profile x seed) matrix and gates the tenant layer's
+whole promise:
+
+* **determinism** — every traced cell runs twice and the two timeline
+  digests must be bit-identical (a failing cell replays exactly);
+* **contract** — every cell satisfies the delivery contract (I1-I3,
+  drop accounting, quiescence);
+* **isolation** — for every storm cell, :func:`repro.chaos.check_isolation`
+  audits the quiet tenant against an :class:`~repro.chaos.IsolationSLO`
+  whose baseline p99 comes from the *same policy's fault-free cell*: the
+  storm scoped to the noisy tenant may not leak faults onto quiet nodes,
+  may not surface contract violations in the quiet tenant's partition,
+  and may not inflate the quiet p99 beyond the SLO bound;
+* **goodput floor** — the quiet tenant's answered-probe count never hits
+  zero in any cell (graceful degradation, never starvation);
+* **express parity** — untraced fault-free runs of each policy with the
+  express path on vs off reduce to bit-identical observable digests
+  (counts, RTT samples, tenant counters — never kernel internals).
+
+Policies range from no isolation at all (``baseline``) through weighted
+NI service (``weighted``) to weighted service plus a noisy-tenant send
+rate limit (``rate5k``/``rate2k``).  Rates below ~2k msgs/s are
+deliberately not benched: at a bucket interval of 0.5 ms and up, the
+noisy tenant's own drain (bulk fragments plus sink replies share one
+bucket) outlasts the chaos harness's hard quiescence deadline, so the
+supervisor kills the run mid-flight — a harness artifact, not an
+isolation result.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.tenant.bench --smoke
+    PYTHONPATH=src python -m repro.tenant.bench --out BENCH_TENANT.json
+
+Exit status is non-zero if any gate fails.  The JSON artifact contains
+no wall-clock times, so re-running on the same tree reproduces it byte
+for byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..chaos.invariants import IsolationSLO, check_isolation
+from ..chaos.runner import chaos_config, reset_global_ids, run_chaos
+from ..chaos.schedule import Scenario, ScheduleGenerator
+from ..cluster.builder import Cluster
+from ..cluster.config import ClusterConfig
+from ..sim.core import AllOf
+from .interference import InterferenceWorkload
+
+__all__ = ["POLICIES", "run_interference_bench", "main"]
+
+#: tenant-mix policies: kwargs layered onto InterferenceWorkload
+POLICIES: dict[str, dict] = {
+    # no isolation: equal weight, no reservation, unlimited noisy tenant
+    "baseline": dict(quiet_weight=1, quiet_reservation=0),
+    # weighted NI service + one reserved frame for the quiet tenant
+    "weighted": dict(quiet_weight=4, quiet_reservation=1),
+    # weighted service + noisy send-rate cap (token bucket)
+    "rate5k": dict(quiet_weight=4, quiet_reservation=1,
+                   noisy_rate_msgs_s=5_000.0),
+    "rate2k": dict(quiet_weight=4, quiet_reservation=1,
+                   noisy_rate_msgs_s=2_000.0),
+}
+
+_DURATION_NS = 20_000_000
+_NUM_HOSTS = 4
+
+
+def _calm_scenario(seed: int) -> Scenario:
+    """A fault-free scenario: same supervisor/deadline, zero injections."""
+    return Scenario(name="calm", seed=seed, profile="none",
+                    duration_ns=_DURATION_NS, actions=[])
+
+
+def _storm_scenario(seed: int, wl: InterferenceWorkload,
+                    profile: str) -> Scenario:
+    """A tenant_storm scoped to the noisy tenant's fault domain."""
+    gen = ScheduleGenerator(
+        seed,
+        num_hosts=_NUM_HOSTS,
+        num_spines=1,
+        num_procs=len(wl.noisy_proc_pool) + 3,
+        num_eps=5,
+        duration_ns=_DURATION_NS,
+        profile=profile,
+        host_pool=wl.noisy_host_pool,
+        proc_pool=wl.noisy_proc_pool,
+        ep_pool=wl.noisy_ep_pool,
+    )
+    return gen.generate("tenant_storm")
+
+
+def _traced_cell(policy: str, seed: int, storm: bool, profile: str):
+    """One traced chaos run; returns (report, workload)."""
+    wl = InterferenceWorkload(**POLICIES[policy])
+    scenario = _storm_scenario(seed, wl, profile) if storm \
+        else _calm_scenario(seed)
+    report = run_chaos(scenario, wl, num_hosts=_NUM_HOSTS, keep=True)
+    return report, wl
+
+
+def _quiet_percentiles(wl: InterferenceWorkload) -> tuple[int, int]:
+    from ..calib.workloads import percentile_ns
+
+    lats = wl.bench_latencies_ns()
+    return percentile_ns(lats, 50), percentile_ns(lats, 99)
+
+
+def _untraced_digest(policy: str, seed: int, express: bool) -> str:
+    """Fault-free untraced run reduced to express-invariant observables.
+
+    Untraced so the express path may engage; the digest covers counts,
+    RTT samples and tenant counters only — integers that must be
+    bit-identical whether packets took the express or the full-fidelity
+    path (mirrors :func:`repro.calib.workloads.run_workload_bench`).
+    """
+    reset_global_ids()
+    wl = InterferenceWorkload(**POLICIES[policy])
+    cfg = ClusterConfig(
+        num_hosts=_NUM_HOSTS,
+        seed=seed,
+        express_path=express,
+        dead_timeout_ms=6.0,
+    )
+    cluster = Cluster(cfg)
+    sim = cluster.sim
+    sim.run_process(wl.build(cluster), name="tenant.bench.setup")
+    wl.give_up_ns = 3 * cfg.dead_timeout_ns
+    wl.start()
+
+    def supervise():
+        yield wl.quota_done()
+        yield sim.timeout(500_000)
+        wl.stop_receivers()
+        pending = [t.done for t in wl.all_threads]
+        if pending:
+            yield AllOf(sim, pending)
+        yield sim.timeout(200_000)
+
+    sim.run_process(supervise(), name="tenant.bench.supervisor",
+                    until=sim.now + 10_000_000_000)
+
+    h = hashlib.sha256()
+    h.update(repr((policy, seed, wl.sent, wl.handled, wl.returned_seen,
+                   wl.quiet_answered, wl.quiet_returned,
+                   tuple(wl.bench_latencies_ns()), sim.now,
+                   sorted(wl.registry.snapshot().items()))).encode())
+    return h.hexdigest()
+
+
+def run_interference_bench(
+    seeds: Sequence[int] = (11, 23),
+    policies: Sequence[str] = tuple(POLICIES),
+    profile: str = "brutal",
+    max_p99_inflation: float = 3.0,
+    min_goodput_frac: float = 0.5,
+) -> dict:
+    """Run the full matrix; returns the gated result document.
+
+    For each (policy, seed): a fault-free *calm* cell establishes the
+    admitted-contention baseline, a *storm* cell runs a ``tenant_storm``
+    scoped to the noisy tenant's fault domain, and both are run twice
+    for the digest gate.  One express-parity check per (policy, seed)
+    rides along.  ``result["ok"]`` aggregates every gate.
+    """
+    cells = []
+    express_checks = []
+    gates = {"determinism": True, "contract": True, "isolation": True,
+             "goodput_floor": True, "express_parity": True}
+
+    for policy in policies:
+        for seed in seeds:
+            baseline_p99 = None
+            for kind in ("calm", "storm"):
+                storm = kind == "storm"
+                report, wl = _traced_cell(policy, seed, storm, profile)
+                repeat, _ = _traced_cell(policy, seed, storm, profile)
+                p50, p99 = _quiet_percentiles(wl)
+                report.bus.publish_tenants(wl.registry)
+
+                cell = {
+                    "policy": policy,
+                    "profile": report.profile if storm else "none",
+                    "kind": kind,
+                    "seed": seed,
+                    "ok": report.ok,
+                    "digest": report.digest,
+                    "digest_repeat_ok": report.digest == repeat.digest,
+                    "sim_ms": round(report.sim_ns / 1e6, 3),
+                    "faults_injected": report.faults_injected,
+                    "accepted": report.accepted,
+                    "delivered": report.delivered,
+                    "returned": report.returned,
+                    "quiet": {
+                        "answered": wl.quiet_answered,
+                        "returned": wl.quiet_returned,
+                        "pings": wl.pings,
+                        "p50_us": round(p50 / 1e3, 1),
+                        "p99_us": round(p99 / 1e3, 1),
+                    },
+                    "tenants": wl.registry.snapshot(),
+                    "violations": [str(v) for v in report.violations],
+                }
+
+                if not cell["digest_repeat_ok"]:
+                    gates["determinism"] = False
+                if not report.ok:
+                    gates["contract"] = False
+                if wl.quiet_answered == 0:
+                    gates["goodput_floor"] = False
+
+                if not storm:
+                    baseline_p99 = p99
+                else:
+                    slo = IsolationSLO(
+                        baseline_p99_ns=max(1, baseline_p99),
+                        max_p99_inflation=max_p99_inflation,
+                        min_goodput_frac=min_goodput_frac,
+                    )
+                    iso = check_isolation(report.bus.events, wl, slo)
+                    bound = round(baseline_p99 * max_p99_inflation)
+                    cell["slo"] = {
+                        "baseline_p99_us": round(baseline_p99 / 1e3, 1),
+                        "p99_bound_us": round(bound / 1e3, 1),
+                        "p99_margin_us": round((bound - p99) / 1e3, 1),
+                        "violations": [str(v) for v in iso],
+                    }
+                    report.bus.metrics.gauge(
+                        "tenant.slo.p99_margin_ns", tenant="quiet").set(
+                            bound - p99)
+                    if iso:
+                        gates["isolation"] = False
+                cells.append(cell)
+
+            on = _untraced_digest(policy, seed, express=True)
+            off = _untraced_digest(policy, seed, express=False)
+            express_checks.append({
+                "policy": policy, "seed": seed,
+                "digest_on": on, "digest_off": off, "ok": on == off,
+            })
+            if on != off:
+                gates["express_parity"] = False
+
+    return {
+        "generated_by": "repro.tenant.bench",
+        "config": {
+            "seeds": list(seeds),
+            "policies": list(policies),
+            "profile": profile,
+            "duration_ms": _DURATION_NS / 1e6,
+            "num_hosts": _NUM_HOSTS,
+            "slo": {"max_p99_inflation": max_p99_inflation,
+                    "min_goodput_frac": min_goodput_frac},
+        },
+        "gates": gates,
+        "ok": all(gates.values()),
+        "cells": cells,
+        "express_checks": express_checks,
+    }
+
+
+def _print_summary(result: dict) -> None:
+    from ..bench.reporting import print_table
+
+    rows = []
+    for c in result["cells"]:
+        slo = c.get("slo")
+        rows.append([
+            c["policy"], c["kind"], c["seed"], c["faults_injected"],
+            f"{c['quiet']['answered']}/{c['quiet']['pings']}",
+            c["quiet"]["p50_us"], c["quiet"]["p99_us"],
+            (f"+{slo['p99_margin_us']}" if slo else "-"),
+            "ok" if c["ok"] and c["digest_repeat_ok"]
+            and not (slo and slo["violations"]) else "FAIL",
+        ])
+    print_table(
+        ["policy", "cell", "seed", "faults", "answered", "p50 us",
+         "p99 us", "SLO margin", "status"],
+        rows,
+        title="tenant interference matrix (quiet-tenant view)",
+    )
+    xp = result["express_checks"]
+    good = sum(1 for x in xp if x["ok"])
+    print(f"express parity: {good}/{len(xp)} policy/seed pairs bit-equal")
+    print("gates: " + ", ".join(
+        f"{k}={'ok' if v else 'FAIL'}" for k, v in result["gates"].items()))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--seeds", type=int, nargs="+", default=[11, 23])
+    ap.add_argument("--policies", nargs="+", default=list(POLICIES),
+                    choices=list(POLICIES), metavar="POLICY")
+    ap.add_argument("--profile", choices=("mild", "rough", "brutal"),
+                    default="brutal", help="storm intensity")
+    ap.add_argument("--max-p99-inflation", type=float, default=3.0)
+    ap.add_argument("--min-goodput-frac", type=float, default=0.5)
+    ap.add_argument("--out", default=None,
+                    help="write the JSON artifact here")
+    ap.add_argument("--smoke", action="store_true",
+                    help="small fixed matrix for CI: 1 seed, 2 policies")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        args.seeds = [11]
+        args.policies = ["baseline", "rate2k"]
+
+    result = run_interference_bench(
+        seeds=args.seeds,
+        policies=args.policies,
+        profile=args.profile,
+        max_p99_inflation=args.max_p99_inflation,
+        min_goodput_frac=args.min_goodput_frac,
+    )
+    _print_summary(result)
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(result, f, indent=1, sort_keys=False)
+            f.write("\n")
+        print(f"wrote {args.out}")
+
+    if not result["ok"]:
+        bad = [c for c in result["cells"]
+               if not c["ok"] or not c["digest_repeat_ok"]
+               or c.get("slo", {}).get("violations")]
+        for c in bad:
+            print(f"FAIL {c['policy']}/{c['kind']} seed={c['seed']}: "
+                  f"{c['violations'] or c.get('slo', {}).get('violations')}",
+                  file=sys.stderr)
+        return 1
+    print("all tenant isolation gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

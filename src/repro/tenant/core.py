@@ -1,0 +1,228 @@
+"""Tenants: named groups of endpoints with isolation guarantees.
+
+The paper virtualizes *endpoints* so mutually distrusting processes can
+share one NI; this module virtualizes the next level up — the fabric
+hosts many independent virtual networks ("tenants"), each a named group
+of endpoints/vnets with:
+
+* a **service weight** — the NI's endpoint rotation becomes a weighted
+  deficit round-robin (:meth:`repro.nic.firmware.Nic._next_service_ep`):
+  each visit grants ``weight × wrr_max_msgs`` messages, and service cut
+  short by rate limiting carries over as a bounded deficit;
+* a **send-rate limit** — a deterministic integer token bucket charged
+  one token per serviced send; an empty bucket defers the endpoint
+  (messages wait in the send ring, so exhaustion surfaces to the host
+  as ring backpressure, never as drops);
+* a **frame reservation** — :class:`repro.osim.segdriver.SegmentDriver`
+  victim selection never lets one tenant evict another below its
+  reserved resident-frame count;
+* a **frame quota** — a tenant at its quota must victimize its own
+  endpoints to load new ones (self-paging, in the osim spirit).
+
+Untenanted endpoints (``EndpointState.tenant is None``) behave exactly
+as before: weight 1, no limits, no reservation — the tenant layer is
+pay-as-you-go.  All bookkeeping is plain integer counters updated on
+both the traced and untraced paths, so tenant accounting never perturbs
+timing and digests stay mode-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["TenantSpec", "TenantStats", "TokenBucket", "Tenant",
+           "TenantRegistry"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static per-tenant policy knobs."""
+
+    name: str
+    #: NI service weight: a tenant's endpoints get ``weight`` times the
+    #: base WRR loiter budget per rotation visit
+    weight: int = 1
+    #: resident frames (per NIC) other tenants may never evict this
+    #: tenant below
+    frame_reservation: int = 0
+    #: max resident frames (per NIC) this tenant may occupy; at the
+    #: quota it must evict its own endpoints (None = unlimited)
+    frame_quota: Optional[int] = None
+    #: send-service rate limit in messages/s (None = unlimited)
+    rate_msgs_per_s: Optional[float] = None
+    #: token-bucket depth in messages
+    burst_msgs: int = 8
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if self.weight < 1:
+            raise ValueError(f"tenant {self.name}: weight must be >= 1")
+        if self.frame_reservation < 0:
+            raise ValueError(f"tenant {self.name}: frame_reservation < 0")
+        if self.frame_quota is not None:
+            if self.frame_quota < 1:
+                raise ValueError(f"tenant {self.name}: frame_quota must be >= 1")
+            if self.frame_quota < self.frame_reservation:
+                raise ValueError(
+                    f"tenant {self.name}: frame_quota below frame_reservation")
+        if self.rate_msgs_per_s is not None and self.rate_msgs_per_s <= 0:
+            raise ValueError(f"tenant {self.name}: rate must be positive")
+        if self.burst_msgs < 1:
+            raise ValueError(f"tenant {self.name}: burst_msgs must be >= 1")
+
+
+@dataclass
+class TenantStats:
+    """Plain-integer counters (digest-safe, mode-invariant)."""
+
+    #: messages serviced by the NI for this tenant's endpoints
+    msgs_serviced: int = 0
+    #: service attempts deferred because the token bucket was empty
+    throttled: int = 0
+    #: evictions of this tenant's endpoints caused by *another* tenant
+    evictions_suffered: int = 0
+    #: evictions of other tenants' endpoints this tenant's loads caused
+    evictions_caused: int = 0
+    #: cross-tenant victim candidacies vetoed by this tenant's reservation
+    reservation_vetoes: int = 0
+    #: evictions where this tenant victimized one of its own endpoints
+    #: (self-paging — the only choice left at the frame quota)
+    quota_self_evictions: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "msgs_serviced": self.msgs_serviced,
+            "throttled": self.throttled,
+            "evictions_suffered": self.evictions_suffered,
+            "evictions_caused": self.evictions_caused,
+            "reservation_vetoes": self.reservation_vetoes,
+            "quota_self_evictions": self.quota_self_evictions,
+        }
+
+
+class TokenBucket:
+    """Deterministic integer token bucket, denominated in nanoseconds.
+
+    One "token" is ``interval_ns`` of accumulated credit (the message
+    inter-arrival time at the configured rate); the bucket holds up to
+    ``burst`` tokens.  Pure integer arithmetic keyed on the simulated
+    clock, so refills are exactly reproducible.
+    """
+
+    __slots__ = ("interval_ns", "cap_ns", "level_ns", "last_ns")
+
+    def __init__(self, rate_msgs_per_s: float, burst_msgs: int):
+        self.interval_ns = max(1, round(1e9 / rate_msgs_per_s))
+        self.cap_ns = burst_msgs * self.interval_ns
+        self.level_ns = self.cap_ns  # starts full
+        self.last_ns = 0
+
+    def _refill(self, now_ns: int) -> None:
+        if now_ns > self.last_ns:
+            self.level_ns = min(self.cap_ns,
+                                self.level_ns + (now_ns - self.last_ns))
+            self.last_ns = now_ns
+
+    def try_take(self, now_ns: int) -> bool:
+        self._refill(now_ns)
+        if self.level_ns >= self.interval_ns:
+            self.level_ns -= self.interval_ns
+            return True
+        return False
+
+    def ready_at(self, now_ns: int) -> int:
+        """Earliest time a token will be available (== now if one is)."""
+        self._refill(now_ns)
+        if self.level_ns >= self.interval_ns:
+            return now_ns
+        return now_ns + (self.interval_ns - self.level_ns)
+
+
+class Tenant:
+    """Runtime state of one tenant: spec, members, bucket, counters."""
+
+    def __init__(self, spec: TenantSpec):
+        spec.validate()
+        self.spec = spec
+        self.stats = TenantStats()
+        self.bucket: Optional[TokenBucket] = (
+            TokenBucket(spec.rate_msgs_per_s, spec.burst_msgs)
+            if spec.rate_msgs_per_s is not None else None)
+        #: adopted EndpointState objects, in adoption order
+        self.endpoints: list = []
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def weight(self) -> int:
+        return self.spec.weight
+
+    def adopt(self, *endpoints) -> None:
+        """Tag endpoints (``am.Endpoint`` or ``EndpointState``) as ours."""
+        for ep in endpoints:
+            st = getattr(ep, "state", ep)
+            if st.tenant is not None and st.tenant is not self:
+                raise ValueError(
+                    f"endpoint {st.name} already belongs to tenant "
+                    f"{st.tenant.name!r}")
+            st.tenant = self
+            if st not in self.endpoints:
+                self.endpoints.append(st)
+
+    def nodes(self) -> set:
+        return {st.node for st in self.endpoints}
+
+    def frames_held(self, node: Optional[int] = None) -> int:
+        """Resident frames this tenant currently occupies (on one NIC)."""
+        return sum(1 for st in self.endpoints
+                   if st.resident and (node is None or st.node == node))
+
+    def snapshot(self) -> dict:
+        s = self.stats.snapshot()
+        s["frames_held"] = self.frames_held()
+        s["endpoints"] = len(self.endpoints)
+        return s
+
+    def __repr__(self) -> str:
+        return (f"<Tenant {self.name} w={self.weight} "
+                f"eps={len(self.endpoints)}>")
+
+
+class TenantRegistry:
+    """The set of tenants sharing one cluster."""
+
+    def __init__(self):
+        self.tenants: dict[str, Tenant] = {}
+
+    def create(self, name: str, **spec_kwargs) -> Tenant:
+        if name in self.tenants:
+            raise ValueError(f"tenant {name!r} already exists")
+        t = Tenant(TenantSpec(name=name, **spec_kwargs))
+        self.tenants[name] = t
+        return t
+
+    def get(self, name: str) -> Tenant:
+        return self.tenants[name]
+
+    def __iter__(self) -> Iterable[Tenant]:
+        return iter(self.tenants.values())
+
+    def __len__(self) -> int:
+        return len(self.tenants)
+
+    def validate_against(self, endpoint_frames: int) -> None:
+        """Reservations must be co-satisfiable on one NIC, or victim
+        selection could deadlock with every frame reserved."""
+        total = sum(t.spec.frame_reservation for t in self)
+        if total > endpoint_frames:
+            raise ValueError(
+                f"tenant frame reservations total {total} but the NI has "
+                f"only {endpoint_frames} frames")
+
+    def snapshot(self) -> dict:
+        """Deterministic per-tenant counter snapshot (bench digests)."""
+        return {name: t.snapshot() for name, t in sorted(self.tenants.items())}

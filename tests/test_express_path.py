@@ -120,7 +120,7 @@ def test_express_on_reference_kernel():
 
 
 # ------------------------------------------------------- disengagement
-def test_fault_injection_disables_express_permanently():
+def test_fault_injection_disables_express_until_quiet_period():
     from repro.myrinet import FaultInjector
 
     sim, net, _ = make_net(8)
@@ -129,9 +129,76 @@ def test_fault_injection_disables_express_permanently():
     assert not net.express_active
     net.attach(0, lambda p: None)
     net.attach(5, lambda p: None)
-    net.send(Packet(0, 5, PacketType.DATA))
+    net.send(Packet(0, 5, PacketType.DATA))  # inside the quiet window
     sim.run()
-    assert net.express.hits() == 0  # slow path from then on
+    assert net.express.hits() == 0  # slow path until the window elapses
+
+
+def test_sticky_disable_with_zero_quiet_window():
+    from repro.myrinet import FaultInjector
+
+    sim, net, _ = make_net(8, express_reenable_quiet_us=0.0)
+    FaultInjector(sim, net).set_loss(0.0)
+    net.attach(0, lambda p: None)
+    net.attach(5, lambda p: None)
+    sim.schedule(10_000_000, net.send, Packet(0, 5, PacketType.DATA))
+    sim.run()
+    assert net.express.hits() == 0 and net.express.reenabled == 0
+    assert not net.express_active  # the pre-hysteresis behaviour
+
+
+def test_transient_flap_rearms_express():
+    """Satellite regression: one transient link flap must not demote the
+    remainder of a long run — after the quiet period (fabric healthy),
+    the next send re-arms the path, and everything observable is still
+    bit-identical to the express-off run."""
+    sends = [(0, 0, 5, 64),              # pristine: express commit
+             (1_500, 0, 5, 64),          # during/after the flap: slow
+             (2_500_000, 0, 5, 64)]      # quiet period over: express again
+
+    def flap(net, sim):
+        link = net.topology.host_up[3]  # not on the 0->5 route
+        sim.schedule(1_000, setattr, link, "up", False)
+        sim.schedule(2_000, setattr, link, "up", True)
+
+    sim1, net1, _ = make_net(8)
+    flap(net1, sim1)
+    log1 = drive(net1, sim1, sends)
+    assert net1.express.commits == 2
+    assert net1.express.reenabled == 1
+    assert net1.express_active
+
+    sim2, net2, _ = make_net(8, express=False)
+    flap(net2, sim2)
+    log2 = drive(net2, sim2, sends)
+    assert log1 == log2
+    assert net1.stats == net2.stats
+    assert link_ledger(net1) == link_ledger(net2)
+
+
+def test_no_rearm_while_fabric_degraded():
+    sim, net, _ = make_net(8)
+    net.topology.host_up[3].up = False  # down and stays down
+    net.attach(0, lambda p: None)
+    net.attach(5, lambda p: None)
+    sim.schedule(10_000_000, net.send, Packet(0, 5, PacketType.DATA))
+    sim.run()
+    assert net.express.hits() == 0 and net.express.reenabled == 0
+
+
+def test_disjoint_wormhole_does_not_block_express():
+    """Satellite regression: per-link slow-path tracking — a wormhole in
+    flight on one corner of the fabric must not force unrelated routes
+    onto the slow path (the old fabric-wide ``fallback_active``)."""
+    # A commits 0->5; B (2->5) intersects and revokes it, then falls
+    # back; C (1->2, fully disjoint from both) must still go express.
+    sends = [(0, 0, 5, 4096), (500, 2, 5, 64), (600, 1, 2, 64)]
+    (s1, n1, log1), (s2, n2, log2) = both_modes(sends)
+    assert n1.express.revoked == 1
+    assert n1.express.commits == 2  # A and C; the old code forced C slow
+    assert log1 == log2
+    assert n1.stats == n2.stats
+    assert link_ledger(n1) == link_ledger(n2)
 
 
 def test_direct_up_flip_disables_express():
