@@ -1,0 +1,76 @@
+"""``python -m repro`` — the umbrella CLI over every suite.
+
+One front door instead of four ``python -m repro.<pkg>`` spellings:
+
+    python -m repro bench [perf-args...]     # perf regression harness
+    python -m repro chaos [chaos-args...]    # chaos smoke matrix
+    python -m repro calib [calib-args...]    # LogP calibration sweep
+    python -m repro scale [scale-args...]    # overcommit sweep
+    python -m repro tenant [tenant-args...]  # tenant interference matrix
+
+Each subcommand delegates to the existing suite ``main(argv)`` with the
+remaining arguments, so every per-suite flag keeps working unchanged.
+The old per-package entrypoints remain functional.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_bench(argv):
+    from .bench.perf import main
+
+    return main(argv)
+
+
+def _cmd_chaos(argv):
+    from .bench.chaos import main
+
+    return main(argv)
+
+
+def _cmd_calib(argv):
+    from .calib.sweep import main
+
+    return main(argv)
+
+
+def _cmd_scale(argv):
+    from .scale.sweep import main
+
+    return main(argv)
+
+
+def _cmd_tenant(argv):
+    from .tenant.bench import main
+
+    return main(argv)
+
+
+COMMANDS = {
+    "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
+    "calib": _cmd_calib,
+    "scale": _cmd_scale,
+    "tenant": _cmd_tenant,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    cmd = argv[0]
+    fn = COMMANDS.get(cmd)
+    if fn is None:
+        print(f"unknown command {cmd!r}; choose from: "
+              f"{' '.join(sorted(COMMANDS))}", file=sys.stderr)
+        return 2
+    return int(fn(argv[1:]) or 0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """The stable public facade: sessions over virtual networks.
 
-This module is the documented entry point for programs built on the
+This package is the documented entry point for programs built on the
 reproduction — the analog of AM-II's ``AM_Init``/``AM_Terminate`` pair.
 A :class:`Session` owns the whole lifecycle in one context manager:
 build the cluster, allocate the endpoints, wire them into a virtual
@@ -13,33 +13,60 @@ exit:
 ...     ep0, ep1 = s.endpoints
 ...     # spawn threads, exchange messages, s.run(...)
 
+How simulated time executes is an *engine* (:mod:`repro.api.engine`):
+``Session(engine="reference")`` replays on the pre-optimization
+ordering oracle, ``engine="sharded"`` selects the conservative-window
+PDES kernel of :mod:`repro.sim.sharded` (shard-partitionable workloads;
+a monolithic Session accepts it only at ``num_shards == 1``).  The same
+spec threads through every harness via :func:`run_bench`, which fronts
+the perf/calib/scale/tenant suites under one name registry — also
+reachable as ``python -m repro bench|calib|scale|tenant``.
+
 :class:`Cluster` here is the builder's cluster plus context management,
 for callers that want the machine without a pre-built virtual network.
 The stable types — :class:`Endpoint`, :class:`Bundle`,
 :class:`VirtualNetwork`, :class:`NameService`, the error hierarchy under
 :class:`AmError`/:class:`SimError` — are re-exported so applications
 import only :mod:`repro.api`.
+
+The pre-engine entrypoints (``run_calibration``, ``run_interference_bench``,
+``replacement_policies``) survive as :class:`DeprecationWarning` shims
+delegating to :func:`run_bench`/:func:`describe`.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Sequence
+import warnings
+from typing import Generator, Optional, Sequence, Union
 
-from .am.bundle import Bundle
-from .am.endpoint import AmStats, Endpoint, Token
-from .am.errors import AmError, BadTranslationError, EndpointFreedError
-from .am.names import NameService
-from .am.vnet import VirtualNetwork, new_endpoint, parallel_vnet, star_vnet
-from .cluster.builder import Cluster as _BuilderCluster
-from .cluster.builder import Node
-from .cluster.config import ClusterConfig
-from .osim.segdriver import REPLACEMENT_POLICIES, ResidencyScoreboard
-from .sim.core import Interrupted, SimError
-from .tenant import Tenant, TenantRegistry, TenantSpec
+from ..am.bundle import Bundle
+from ..am.endpoint import AmStats, Endpoint, Token
+from ..am.errors import AmError, BadTranslationError, EndpointFreedError
+from ..am.names import NameService
+from ..am.vnet import VirtualNetwork, new_endpoint, parallel_vnet, star_vnet
+from ..cluster.builder import Cluster as _BuilderCluster
+from ..cluster.builder import Node
+from ..cluster.config import ClusterConfig
+from ..osim.segdriver import REPLACEMENT_POLICIES, ResidencyScoreboard
+from ..sim.core import Interrupted, SimError
+from ..tenant import Tenant, TenantRegistry, TenantSpec
+from .engine import (ENGINE_NAMES, Engine, EngineError, ReferenceEngine,
+                     SequentialEngine, ShardedEngine, resolve_engine,
+                     resolve_kernel)
 
 __all__ = [
     "Cluster",
     "Session",
+    # engine surface
+    "ENGINE_NAMES",
+    "Engine",
+    "EngineError",
+    "ReferenceEngine",
+    "SequentialEngine",
+    "ShardedEngine",
+    "resolve_engine",
+    "run_bench",
+    "describe",
     # stable re-exports
     "AmError",
     "AmStats",
@@ -67,41 +94,105 @@ __all__ = [
 ]
 
 
-def run_calibration(smoke: bool = False, **kwargs):
-    """Run the in-sim LogP calibration sweep; returns a ``CalibReport``.
+# --------------------------------------------------------------------------
+# the bench registry behind Session.run_bench / `python -m repro`
+# --------------------------------------------------------------------------
+def _bench_perf(engine, **opts):
+    from ..bench.perf import run_suite
 
-    Sweeps (topology × node-pair × size × pattern) cells, fits the LogP
-    constants from the observed spans, and round-trips them against the
-    configured cost model — see :mod:`repro.calib`.  Lazy import so the
-    facade stays light for programs that never calibrate.
+    return run_suite(reference=(getattr(engine, "name", None) == "reference"),
+                     **opts)
+
+
+def _bench_calib(engine, **opts):
+    from ..calib.sweep import run_calibration as _run
+
+    smoke = opts.pop("smoke", False)
+    return _run(smoke, engine=engine, **opts)
+
+
+def _bench_tenant(engine, **opts):
+    from ..tenant.bench import run_interference_bench as _run
+
+    return _run(engine=engine, **opts)
+
+
+def _bench_scale(engine, **opts):
+    from ..scale.sweep import run_sweep as _run
+
+    return _run(engine=engine, **opts)
+
+
+def _bench_shard_scaling(engine, **opts):
+    from ..bench.perf import run_shard_scaling
+
+    if engine is not None and getattr(engine, "name", None) != "sharded":
+        raise EngineError("shard_scaling only runs on the sharded engine")
+    return run_shard_scaling(**opts)
+
+
+BENCHES = {
+    "perf": _bench_perf,
+    "calib": _bench_calib,
+    "scale": _bench_scale,
+    "tenant": _bench_tenant,
+    "shard_scaling": _bench_shard_scaling,
+}
+
+
+def run_bench(name: str, *, engine: Union[None, str, Engine] = None,
+              **opts):
+    """Run a registered benchmark/harness under one roof.
+
+    ``name`` is one of :data:`BENCHES` (``perf``, ``calib``, ``scale``,
+    ``tenant``, ``shard_scaling``); ``engine`` is any
+    :func:`resolve_engine` spec.  Keyword options pass straight through
+    to the underlying suite (each of which documents its own knobs).
     """
-    from .calib.sweep import run_calibration as _run
+    fn = BENCHES.get(name)
+    if fn is None:
+        raise AmError(
+            f"unknown bench {name!r}; registered: {sorted(BENCHES)}")
+    eng = None if engine is None else resolve_engine(engine)
+    return fn(eng, **opts)
 
-    return _run(smoke, **kwargs)
+
+def describe() -> dict:
+    """One queryable map of the public surface: engines, benches, and
+    endpoint-frame replacement policies."""
+    return {
+        "engines": list(ENGINE_NAMES),
+        "benches": sorted(BENCHES),
+        "replacement_policies": sorted(REPLACEMENT_POLICIES),
+    }
+
+
+# --------------------------------------------------------------------------
+# deprecated pre-engine entrypoints (PR 3 shim pattern)
+# --------------------------------------------------------------------------
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.api.{old} is deprecated; use {new}",
+        DeprecationWarning, stacklevel=3)
+
+
+def run_calibration(smoke: bool = False, **kwargs):
+    """Deprecated: use ``run_bench('calib', smoke=...)``."""
+    _deprecated("run_calibration(...)", "repro.api.run_bench('calib', ...)")
+    return run_bench("calib", smoke=smoke, **kwargs)
 
 
 def run_interference_bench(**kwargs):
-    """Run the tenant interference matrix; returns the gated result dict.
-
-    Exercises a (policy x chaos-profile x seed) matrix of noisy-neighbor
-    runs, audits each against the delivery contract and the quiet
-    tenant's :class:`~repro.chaos.IsolationSLO`, and gates determinism
-    plus express-path parity — see :mod:`repro.tenant.bench`.  Lazy
-    import so the facade stays light for programs that never bench.
-    """
-    from .tenant.bench import run_interference_bench as _run
-
-    return _run(**kwargs)
+    """Deprecated: use ``run_bench('tenant', ...)``."""
+    _deprecated("run_interference_bench(...)",
+                "repro.api.run_bench('tenant', ...)")
+    return run_bench("tenant", **kwargs)
 
 
 def replacement_policies() -> list[str]:
-    """Names of the registered endpoint-frame replacement policies.
-
-    Valid values for :attr:`ClusterConfig.replacement_policy`; see
-    :mod:`repro.osim.segdriver` for what each one does and
-    :mod:`repro.scale` for the harness that compares them under
-    overcommit.
-    """
+    """Deprecated: use ``describe()['replacement_policies']``."""
+    _deprecated("replacement_policies()",
+                "repro.api.describe()['replacement_policies']")
     return sorted(REPLACEMENT_POLICIES)
 
 
@@ -153,6 +244,9 @@ class Session:
         ``.endpoints`` is their concatenation.  ``shared_server_ep``
         selects the OneVN (shared) vs per-client configuration.
 
+    ``engine=`` selects the event kernel (any :func:`resolve_engine`
+    spec); the resolved :class:`Engine` is exposed as ``.engine``.
+
     Pass ``cluster=`` to join an existing machine (the session then
     frees only its own endpoints on close and leaves the cluster up);
     otherwise a cluster is built from ``cfg``/``**overrides`` and torn
@@ -167,6 +261,7 @@ class Session:
         *,
         cluster: Optional[_BuilderCluster] = None,
         cfg: Optional[ClusterConfig] = None,
+        engine: Union[None, str, Engine] = None,
         shared_server_ep: bool = True,
         name: str = "session",
         **overrides,
@@ -175,7 +270,12 @@ class Session:
             raise AmError("Session needs exactly one of nodes=... or star=(server, clients)")
         self.name = name
         self._owns_cluster = cluster is None
-        self.cluster = cluster if cluster is not None else _BuilderCluster(cfg, **overrides)
+        if cluster is not None:
+            self.cluster = cluster
+            self.engine = resolve_engine(engine, cluster.cfg)
+        else:
+            self.cluster = _BuilderCluster(cfg, engine=engine, **overrides)
+            self.engine = self.cluster.engine
         self.sim = self.cluster.sim
         self.cfg = self.cluster.cfg
         self.vnet: Optional[VirtualNetwork] = None
@@ -241,3 +341,7 @@ class Session:
 
     def run_process(self, gen: Generator, name: str = "", until: Optional[int] = None):
         return self.cluster.run_process(gen, name=name, until=until)
+
+    def run_bench(self, name: str, **opts):
+        """Run a registered bench under this session's engine."""
+        return run_bench(name, engine=self.engine, **opts)

@@ -95,6 +95,8 @@ class Scale:
     burst_hosts: int = 32
     burst_waves: int = 60
     calib_rounds: int = 6
+    shard_hosts_per_shard: int = 8
+    shard_waves: int = 40
 
     def shrunk(self) -> "Scale":
         """A reduced-scale variant for the tracemalloc (peak-heap) pass."""
@@ -106,12 +108,14 @@ class Scale:
             burst_hosts=self.burst_hosts,
             burst_waves=max(8, self.burst_waves // 4),
             calib_rounds=max(2, self.calib_rounds // 2),
+            shard_hosts_per_shard=self.shard_hosts_per_shard,
+            shard_waves=max(6, self.shard_waves // 4),
         )
 
 
 QUICK = Scale(pingpong_rounds=200, contention_warmup_ms=20.0,
               contention_duration_ms=25.0, chaos_duration_ns=4_000_000,
-              burst_waves=20, calib_rounds=4)
+              burst_waves=20, calib_rounds=4, shard_waves=12)
 
 
 # --------------------------------------------------------------- scenarios
@@ -368,6 +372,84 @@ def run_scenario(name: str, sim_factory: Callable = Simulator,
     return _RUNNERS[name](sim_factory, scale, traced, express)
 
 
+# ----------------------------------------------------------- shard scaling
+#: shard counts measured by the shard_scaling section
+SHARD_COUNTS = (1, 2, 4, 8)
+#: executors cross-validated bit-for-bit against the sequential kernel
+SHARD_MP_COUNTS = (2, 4)
+
+
+def run_shard_scaling(scale: Scale = None, shard_counts=SHARD_COUNTS,
+                      scenario: str = "uniform", seed: int = 7,
+                      mp_counts=SHARD_MP_COUNTS, quick: bool = False) -> dict:
+    """Events/s scaling of the PDES kernel at 1/2/4/8 shards.
+
+    For every shard count the same workload runs on the sequential
+    kernel (one merged heap — the baseline) and the in-process windowed
+    executor; their digests, delivery counts and dispatched-event
+    totals must match bit for bit, and at the counts in ``mp_counts``
+    the ``multiprocessing`` executor is held to the same oracle.
+
+    The committed scaling figure is ``parallelism_events`` — the
+    machine-independent critical-path ratio ``total_events /
+    sum_over_windows(max_per_shard_events)``, i.e. the events/s
+    multiple the windowed schedule itself exposes (barriers included),
+    following the suite's convention of gating ratios rather than raw
+    walls (shared runners lie about absolute time; a 1-core runner
+    cannot show mp wall speedup at all).  Measured walls for all
+    executors are reported alongside, unchecked.
+    """
+    from ..sim.sharded import ShardedSimulator
+
+    if scale is None:
+        scale = QUICK if quick else Scale()
+    hps = scale.shard_hosts_per_shard
+    params = {"waves": scale.shard_waves}
+    out: dict = {"scenario": scenario, "hosts_per_shard": hps,
+                 "waves": scale.shard_waves, "shards": {}}
+    for n in shard_counts:
+        cfg = ClusterConfig(num_hosts=n * hps, num_shards=n, seed=seed,
+                            engine="sharded")
+        sharded = ShardedSimulator(cfg, scenario=scenario, params=params)
+        seq = sharded.run("sequential")
+        inp = sharded.run("inprocess")
+        if seq.checks != inp.checks:
+            raise RuntimeError(
+                f"shard_scaling[{scenario} x{n}]: sequential and windowed "
+                f"runs diverged:\n  sequential: {seq.checks}\n"
+                f"  inprocess:  {inp.checks}")
+        entry = {
+            "events": seq.events,
+            "delivered": len(seq.deliveries),
+            "digest": seq.checks["digest"],
+            "digest_match": True,
+            "sequential": {
+                "wall_s": round(seq.wall_s, 4),
+                "events_per_sec": round(seq.events / seq.wall_s),
+            },
+            "inprocess": {
+                "wall_s": round(inp.wall_s, 4),
+                "barriers": inp.barriers,
+                "crit_events": inp.crit_events,
+                "crit_wall_s": round(inp.crit_wall_s, 4),
+            },
+            "parallelism_events": round(inp.parallelism(), 3),
+        }
+        if n in mp_counts:
+            mpr = sharded.run("mp")
+            if seq.checks != mpr.checks:
+                raise RuntimeError(
+                    f"shard_scaling[{scenario} x{n}]: mp executor diverged:\n"
+                    f"  sequential: {seq.checks}\n  mp:         {mpr.checks}")
+            entry["mp"] = {"wall_s": round(mpr.wall_s, 4),
+                           "digest_match": True}
+        out["shards"][str(n)] = entry
+    four = out["shards"].get("4")
+    if four is not None:
+        out["speedup_4shards"] = four["parallelism_events"]
+    return out
+
+
 # ------------------------------------------------------------------- suite
 def check_express_equivalence(name: str, scale: Scale) -> tuple[dict, dict]:
     """Run ``name`` with the express path on and off; the mode-invariant
@@ -473,6 +555,10 @@ def run_suite(reference: bool = False, quick: bool = False,
         entry["peak_heap_bytes"] = tracemalloc.get_traced_memory()[1]
         tracemalloc.stop()
         suite["scenarios"][name] = entry
+    # PDES scaling: digest-gated against the sequential kernel at
+    # every shard count, mp executor cross-validated where listed.
+    suite["shard_scaling"] = run_shard_scaling(
+        scale=scale, mp_counts=(2,) if quick else SHARD_MP_COUNTS)
     return suite
 
 
@@ -502,6 +588,16 @@ def check_baseline(suite: dict, baseline: dict) -> list[str]:
                     f"{name}: express-path speedup fell to {cur:.2f}x "
                     f"(baseline {base_express:.2f}x, floor "
                     f"{CHECK_TOLERANCE * base_express:.2f}x)")
+    base_shard = baseline.get("shard_scaling", {}).get("speedup_4shards")
+    if base_shard is not None:
+        cur = suite.get("shard_scaling", {}).get("speedup_4shards")
+        if cur is None:
+            failures.append("shard_scaling: no speedup_4shards measured")
+        elif cur < CHECK_TOLERANCE * base_shard:
+            failures.append(
+                f"shard_scaling: 4-shard critical-path parallelism fell "
+                f"to {cur:.2f}x (baseline {base_shard:.2f}x, floor "
+                f"{CHECK_TOLERANCE * base_shard:.2f}x)")
     return failures
 
 
@@ -541,7 +637,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     help="smaller problem sizes (CI smoke)")
     ap.add_argument("--repeat", type=int, default=1,
                     help="throughput passes per scenario; best wall kept")
+    ap.add_argument("--shard-smoke", action="store_true",
+                    help="run only the sharded-kernel digest-equivalence "
+                         "gate (2 shards, all executors, every shard "
+                         "scenario) and write the result to --out")
     args = ap.parse_args(argv)
+
+    if args.shard_smoke:
+        doc: dict = {"schema": 1, "shard_smoke": {}}
+        for scen in ("uniform", "hotspot", "chaos_storm"):
+            res = run_shard_scaling(scale=QUICK, shard_counts=(1, 2),
+                                    mp_counts=(2,), scenario=scen)
+            doc["shard_smoke"][scen] = res
+            print(f"shard-smoke {scen}: digests match across "
+                  f"sequential/inprocess/mp at 2 shards "
+                  f"(parallelism {res['shards']['2']['parallelism_events']:.2f}x)")
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+        return 0
 
     reference = args.reference or args.check
     suite = run_suite(reference=reference, quick=args.quick,

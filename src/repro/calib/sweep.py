@@ -156,9 +156,13 @@ def default_cells(smoke: bool) -> list[CalibCell]:
     return cells
 
 
-def run_cell(cell: CalibCell, *, seed: int = 1999,
+def run_cell(cell: CalibCell, *, seed: int = 1999, engine=None,
              sim_factory: Callable = Simulator) -> CalibCellResult:
     """Execute one cell deterministically and reduce it to observations."""
+    if engine is not None:
+        from ..api.engine import resolve_kernel
+
+        sim_factory = resolve_kernel(engine)
     reset_global_ids()
     cfg = ClusterConfig(num_hosts=TOPOLOGIES[cell.topology], seed=seed)
     cluster = Cluster(cfg, sim_factory=sim_factory)
@@ -351,6 +355,7 @@ def run_calibration(smoke: bool = False, *, seed: int = 1999,
                     verify_determinism: bool = False,
                     include_workloads: bool = True,
                     include_contended: bool = True,
+                    engine=None,
                     sim_factory: Callable = Simulator,
                     progress=None) -> CalibReport:
     """Run the sweep, fit, round-trip, and (optionally) the bench table.
@@ -360,6 +365,10 @@ def run_calibration(smoke: bool = False, *, seed: int = 1999,
     (the ``--smoke`` gate).  Round-trip failures land in
     ``report.failures``.
     """
+    if engine is not None:
+        from ..api.engine import resolve_kernel
+
+        sim_factory = resolve_kernel(engine)
     report = CalibReport(seed=seed, smoke=smoke, tolerance=tolerance)
     for cell in (list(cells) if cells is not None else default_cells(smoke)):
         res = run_cell(cell, seed=seed, sim_factory=sim_factory)

@@ -431,6 +431,7 @@ def _bench_workload(name: str, **kwargs) -> ChaosWorkload:
 
 
 def run_workload_bench(name: str, *, express: bool = True, seed: int = 7,
+                       engine=None,
                        sim_factory: Callable = Simulator,
                        **kwargs) -> WorkloadBenchResult:
     """Run one diversity shape standalone and reduce it to observables.
@@ -441,6 +442,10 @@ def run_workload_bench(name: str, *, express: bool = True, seed: int = 7,
     express-on and express-off runs of the same seed must match bit for
     bit.
     """
+    if engine is not None:
+        from ..api.engine import resolve_kernel
+
+        sim_factory = resolve_kernel(engine)
     reset_global_ids()
     wl = _bench_workload(name, **kwargs)
     cfg = ClusterConfig(

@@ -201,6 +201,7 @@ def run_chaos(
     num_hosts: int = 8,
     trace_path: Optional[str] = None,
     keep: bool = False,
+    engine=None,
     sim_factory=None,
     **workload_kwargs,
 ) -> ChaosReport:
@@ -210,15 +211,17 @@ def run_chaos(
     Chrome trace JSON (always exported when ``trace_path`` is set and
     the run fails; never otherwise).  ``keep=True`` attaches the live
     ``cluster``/``bus``/``workload`` to the report for tests.
-    ``sim_factory`` swaps the event kernel (the perf harness runs the
-    same chaos scenario on the optimized and reference kernels and
-    compares digests).
+    ``engine`` selects the event kernel through
+    :func:`repro.api.engine.resolve_engine`; ``sim_factory`` still
+    swaps in a raw kernel class (the perf harness runs the same chaos
+    scenario on the optimized and reference kernels and compares
+    digests).
     """
     scenario.validate()
     reset_global_ids()
     if cfg is None:
         cfg = chaos_config(scenario.seed, num_hosts=num_hosts)
-    cluster = Cluster(cfg) if sim_factory is None else Cluster(cfg, sim_factory=sim_factory)
+    cluster = Cluster(cfg, sim_factory=sim_factory, engine=engine)
     bus = cluster.enable_tracing()
     wl = workload if isinstance(workload, ChaosWorkload) \
         else make_workload(workload, **workload_kwargs)

@@ -50,7 +50,9 @@ class Cluster:
     def __init__(
         self,
         cfg: Optional[ClusterConfig] = None,
-        sim_factory: Callable[[], Simulator] = Simulator,
+        sim_factory: Optional[Callable[[], Simulator]] = None,
+        *,
+        engine=None,
         **overrides,
     ):
         if cfg is None:
@@ -59,10 +61,17 @@ class Cluster:
             cfg = cfg.with_(**overrides)
         cfg.validate()
         self.cfg = cfg
-        #: ``sim_factory`` swaps the event kernel (e.g.
-        #: ``repro.sim.ReferenceSimulator`` as the ordering oracle in the
-        #: perf-regression harness); everything else is kernel-agnostic.
-        self.sim = sim_factory()
+        #: kernel selection goes through :mod:`repro.api.engine` — pass
+        #: ``engine=`` (a name, an Engine, or None to consult
+        #: ``cfg.engine``).  A raw ``sim_factory`` callable is still
+        #: honored for in-tree harnesses that drive a specific kernel
+        #: class (e.g. the perf harness's reference oracle); everything
+        #: else is kernel-agnostic.
+        from ..api.engine import resolve_engine, resolve_kernel
+
+        self.engine = (engine if not isinstance(engine, (str, type(None)))
+                       else resolve_engine(engine, cfg))
+        self.sim = resolve_kernel(engine, cfg, sim_factory)()
         self.rngs = RngStreams(cfg.seed)
         self.network = Network(self.sim, cfg, self.rngs)
         self.nodes = [Node(self.sim, cfg, i, self.network, self.rngs) for i in range(cfg.num_hosts)]

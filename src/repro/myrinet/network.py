@@ -96,6 +96,10 @@ class ExpressStats:
     fallback_active: int = 0
     #: times the path re-armed after a quiet period following a fault
     reenabled: int = 0
+    #: sends whose destination lay across a shard boundary: never
+    #: expressible (the cached-route commit cannot span fabrics), always
+    #: demoted to the store-and-forward trunk handoff
+    boundary_demotions: int = 0
 
     def hits(self) -> int:
         return self.commits + self.loopback
@@ -148,6 +152,8 @@ class Network:
         self._dead_nics: set[int] = set()
         self.stats = NetworkStats()
         self.express = ExpressStats()
+        #: installed by the sharded kernel; None on a monolithic fabric
+        self.boundary = None
         #: loopback delivery cost (NI-internal, no wire)
         self.loopback_ns = cfg.lanai_ns(40)
         #: per-hop head advance: cut-through + cable + header serialization
@@ -239,8 +245,32 @@ class Network:
         self.on_fault()
 
     # ------------------------------------------------------------- sending
+    def install_boundary(self, boundary) -> None:
+        """Attach a :class:`~repro.myrinet.shardlink.ShardBoundary`.
+
+        With a boundary installed, packets enter :meth:`send` carrying
+        *global* NIC ids; local traffic is translated to fabric-local
+        ids here, cross-shard traffic is handed to the trunk before any
+        stats or RNG state is touched.
+        """
+        self.boundary = boundary
+
     def send(self, pkt: Packet) -> None:
         """Inject a packet; returns immediately (transit is asynchronous)."""
+        b = self.boundary
+        if b is not None:
+            if not b.is_local(pkt.dst_nic):
+                # Cross-shard: a cached express route cannot span
+                # fabrics, so the would-be single-callback commit is
+                # demoted to the wormhole-style trunk handoff.  This
+                # precedes the loss/corrupt draws deliberately — the
+                # local RNG stream must not see remote traffic.
+                if self._express_enabled and not self.sim.trace.enabled:
+                    self.express.boundary_demotions += 1
+                b.handoff(pkt, self.sim.now)
+                return
+            pkt.src_nic = b.to_local(pkt.src_nic)
+            pkt.dst_nic = b.to_local(pkt.dst_nic)
         self.stats.sent += 1
         if self.cfg.packet_loss_prob and self.rng.random() < self.cfg.packet_loss_prob:
             self.stats.dropped_loss += 1

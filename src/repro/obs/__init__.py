@@ -21,7 +21,8 @@ from .events import KINDS, TraceEvent
 from .export import metrics_snapshot, to_chrome_trace, write_chrome_trace
 from .logp import (MessageSpan, PhaseStats, breakdown_rows, message_spans,
                    phase_breakdown)
-from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .metrics import (Counter, Gauge, Histogram, MetricRegistry,
+                      merge_counter_snapshots)
 
 __all__ = [
     "TraceBus",
@@ -31,6 +32,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "merge_counter_snapshots",
     "to_chrome_trace",
     "write_chrome_trace",
     "metrics_snapshot",

@@ -147,7 +147,8 @@ def _digest(parts) -> str:
     return h.hexdigest()
 
 
-def run_cell(ccfg: ScaleCellConfig, *, trace: bool = False) -> ScaleCellResult:
+def run_cell(ccfg: ScaleCellConfig, *, trace: bool = False,
+             engine=None) -> ScaleCellResult:
     """Run one overcommit cell; returns its :class:`ScaleCellResult`.
 
     ``trace=True`` additionally attaches a :class:`repro.obs.TraceBus`
@@ -156,7 +157,7 @@ def run_cell(ccfg: ScaleCellConfig, *, trace: bool = False) -> ScaleCellResult:
     """
     reset_global_ids()
     wall0 = time.perf_counter()
-    cluster = Cluster(ccfg.cluster_config())
+    cluster = Cluster(ccfg.cluster_config(), engine=engine)
     bus = cluster.enable_tracing() if trace else None
     sim = cluster.sim
     cfg = cluster.cfg

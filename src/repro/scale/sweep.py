@@ -86,6 +86,7 @@ def run_sweep(
     seed: int = 1999,
     client_nodes: int = 8,
     eviction_hysteresis_us: float = 0.0,
+    engine=None,
     verify_determinism: bool = False,
     progress=None,
 ) -> ScaleReport:
@@ -107,9 +108,9 @@ def run_sweep(
                 seed=seed,
                 eviction_hysteresis_us=eviction_hysteresis_us,
             )
-            res = run_cell(ccfg)
+            res = run_cell(ccfg, engine=engine)
             if verify_determinism:
-                res2 = run_cell(ccfg)
+                res2 = run_cell(ccfg, engine=engine)
                 if res2.digest != res.digest:
                     report.nondeterministic.append(
                         f"{policy}@{ratio}:1 digests differ: "

@@ -98,12 +98,14 @@ def _storm_scenario(seed: int, wl: InterferenceWorkload,
     return gen.generate("tenant_storm")
 
 
-def _traced_cell(policy: str, seed: int, storm: bool, profile: str):
+def _traced_cell(policy: str, seed: int, storm: bool, profile: str,
+                 engine=None):
     """One traced chaos run; returns (report, workload)."""
     wl = InterferenceWorkload(**POLICIES[policy])
     scenario = _storm_scenario(seed, wl, profile) if storm \
         else _calm_scenario(seed)
-    report = run_chaos(scenario, wl, num_hosts=_NUM_HOSTS, keep=True)
+    report = run_chaos(scenario, wl, num_hosts=_NUM_HOSTS, keep=True,
+                       engine=engine)
     return report, wl
 
 
@@ -114,7 +116,8 @@ def _quiet_percentiles(wl: InterferenceWorkload) -> tuple[int, int]:
     return percentile_ns(lats, 50), percentile_ns(lats, 99)
 
 
-def _untraced_digest(policy: str, seed: int, express: bool) -> str:
+def _untraced_digest(policy: str, seed: int, express: bool,
+                     engine=None) -> str:
     """Fault-free untraced run reduced to express-invariant observables.
 
     Untraced so the express path may engage; the digest covers counts,
@@ -130,7 +133,7 @@ def _untraced_digest(policy: str, seed: int, express: bool) -> str:
         express_path=express,
         dead_timeout_ms=6.0,
     )
-    cluster = Cluster(cfg)
+    cluster = Cluster(cfg, engine=engine)
     sim = cluster.sim
     sim.run_process(wl.build(cluster), name="tenant.bench.setup")
     wl.give_up_ns = 3 * cfg.dead_timeout_ns
@@ -160,6 +163,7 @@ def run_interference_bench(
     seeds: Sequence[int] = (11, 23),
     policies: Sequence[str] = tuple(POLICIES),
     profile: str = "brutal",
+    engine=None,
     max_p99_inflation: float = 3.0,
     min_goodput_frac: float = 0.5,
 ) -> dict:
@@ -181,8 +185,10 @@ def run_interference_bench(
             baseline_p99 = None
             for kind in ("calm", "storm"):
                 storm = kind == "storm"
-                report, wl = _traced_cell(policy, seed, storm, profile)
-                repeat, _ = _traced_cell(policy, seed, storm, profile)
+                report, wl = _traced_cell(policy, seed, storm, profile,
+                                          engine=engine)
+                repeat, _ = _traced_cell(policy, seed, storm, profile,
+                                         engine=engine)
                 p50, p99 = _quiet_percentiles(wl)
                 report.bus.publish_tenants(wl.registry)
 
@@ -240,8 +246,8 @@ def run_interference_bench(
                         gates["isolation"] = False
                 cells.append(cell)
 
-            on = _untraced_digest(policy, seed, express=True)
-            off = _untraced_digest(policy, seed, express=False)
+            on = _untraced_digest(policy, seed, express=True, engine=engine)
+            off = _untraced_digest(policy, seed, express=False, engine=engine)
             express_checks.append({
                 "policy": policy, "seed": seed,
                 "digest_on": on, "digest_off": off, "ok": on == off,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.am import NameService, build_parallel_vnet, build_star_vnet, create_endpoint
+from repro.am import NameService, parallel_vnet, star_vnet, new_endpoint
 from repro.cluster import Cluster, ClusterConfig
 from repro.lib.mpi import build_world
 from repro.lib.rpc import RpcClient, RpcServer
@@ -31,7 +31,7 @@ def test_mpi_job_beside_client_server_service():
 
     # a client/server service on nodes 4-7 (server on 4)
     servers, clients = cluster.run_process(
-        build_star_vnet(cluster, 4, [5, 6, 7], shared_server_ep=True), "svc"
+        star_vnet(cluster, 4, [5, 6, 7], shared_server_ep=True), "svc"
     )
     sep = servers[0]
     served = [0]
@@ -78,9 +78,9 @@ def test_many_endpoints_one_process_share_one_nic():
     sim = cluster.sim
     eps = []
     for _ in range(12):  # 12 endpoints on node 0, 8 frames
-        ep = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
+        ep = cluster.run_process(new_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
         eps.append(ep)
-    peer = cluster.run_process(create_endpoint(cluster.node(1), rngs=cluster.rngs), "p")
+    peer = cluster.run_process(new_endpoint(cluster.node(1), rngs=cluster.rngs), "p")
     for i, ep in enumerate(eps):
         ep.map(0, peer.name, peer.tag)
         peer.map(i, ep.name, ep.tag)
@@ -118,7 +118,7 @@ def test_rpc_over_paged_endpoints_under_load():
     endpoints' residency demands."""
     cluster = Cluster(ClusterConfig(num_hosts=3, endpoint_frames=2))
     sim = cluster.sim
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "v")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "v")
     server = RpcServer(vnet[0])
     server.register("mul", lambda a, b: a * b)
     client = RpcClient(vnet[1], server_index=0)
@@ -128,7 +128,7 @@ def test_rpc_over_paged_endpoints_under_load():
     # competing endpoints on node 0 churn the 2 frames
     churn_eps = []
     for _ in range(3):
-        ep = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "c")
+        ep = cluster.run_process(new_endpoint(cluster.node(0), rngs=cluster.rngs), "c")
         churn_eps.append(ep)
 
     def churner():

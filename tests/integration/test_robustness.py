@@ -7,7 +7,7 @@ exercised end-to-end through the AM API on a multi-node cluster.
 
 import pytest
 
-from repro.am import build_parallel_vnet
+from repro.am import parallel_vnet
 from repro.cluster import Cluster, ClusterConfig
 from repro.sim import ms
 
@@ -40,7 +40,7 @@ def pump_pair(cluster, ep_src, ep_dst, count, handler, stop_when, until_ms=2_000
 
 def test_exactly_once_under_packet_loss():
     cluster = build(packet_loss_prob=0.15, dead_timeout_ms=400.0)
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 5]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 5]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
     got = []
     pump_pair(cluster, ep0, ep1, 100, lambda tok, i: got.append(i), lambda: len(got) >= 100)
@@ -51,7 +51,7 @@ def test_exactly_once_under_packet_loss():
 
 def test_exactly_once_under_corruption():
     cluster = build(packet_corrupt_prob=0.15, dead_timeout_ms=400.0)
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 5]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 5]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
     got = []
     pump_pair(cluster, ep0, ep1, 60, lambda tok, i: got.append(i), lambda: len(got) >= 60)
@@ -64,7 +64,7 @@ def test_hot_swap_masked_from_application():
     """Reconfiguration is transparent (Section 3.2)."""
     cluster = build()
     sim = cluster.sim
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 9]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 9]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
     got = []
 
@@ -86,7 +86,7 @@ def test_hot_swap_masked_from_application():
 def test_node_crash_returns_messages_to_sender():
     cluster = build(dead_timeout_ms=15.0)
     sim = cluster.sim
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 3]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 3]), "setup")
     ep0, _ = vnet[0], vnet[1]
     reasons = []
     ep0.undeliverable_handler = lambda msg, reason: reasons.append(reason)
@@ -110,7 +110,7 @@ def test_crashed_node_reboot_resynchronizes():
     """Flow-control channels self-synchronize after a reboot (§5.1)."""
     cluster = build(dead_timeout_ms=15.0)
     sim = cluster.sim
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 3]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 3]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
     got = []
     # phase 1: normal traffic
@@ -131,7 +131,7 @@ def test_overcommit_eight_to_one_still_delivers():
     cluster = build(n=17)
     sim = cluster.sim
     nodes = list(range(17))
-    vnet = cluster.run_process(build_parallel_vnet(cluster, nodes), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, nodes), "setup")
     centre = vnet[0]
     got = []
     per_sender = 8
@@ -165,7 +165,7 @@ def test_overcommit_eight_to_one_still_delivers():
 def test_loss_and_hotswap_combined_stress():
     cluster = build(packet_loss_prob=0.05, dead_timeout_ms=800.0)
     sim = cluster.sim
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [1, 10]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [1, 10]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
     got = []
 

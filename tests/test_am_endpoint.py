@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.am import BadTranslationError, Bundle, build_parallel_vnet, build_star_vnet, create_endpoint
+from repro.am import BadTranslationError, Bundle, parallel_vnet, star_vnet, new_endpoint
 from repro.cluster import Cluster, ClusterConfig
 from repro.nic import Residency
 from repro.sim import ms, us
@@ -13,7 +13,7 @@ def build(n=4, **kw):
 
 
 def pair(cluster):
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "setup")
     return vnet[0], vnet[1]
 
 
@@ -27,10 +27,10 @@ def run_threads(cluster, *specs, until_ms=200):
     return threads
 
 
-def test_create_endpoint_unique_tags_and_ids():
+def test_new_endpoint_unique_tags_and_ids():
     cluster = build()
-    ep1 = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "e1")
-    ep2 = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "e2")
+    ep1 = cluster.run_process(new_endpoint(cluster.node(0), rngs=cluster.rngs), "e1")
+    ep2 = cluster.run_process(new_endpoint(cluster.node(0), rngs=cluster.rngs), "e2")
     assert ep1.name != ep2.name
     assert ep1.tag != ep2.tag
     assert ep1.tag != 0  # keys are never zero
@@ -281,11 +281,11 @@ def test_send_to_nonresident_endpoint_uses_cheap_write():
 
 def test_bundle_polls_round_robin():
     cluster = build()
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1, 2]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1, 2]), "setup")
     ep0, ep1, ep2 = vnet[0], vnet[1], vnet[2]
     server_node = cluster.node(0)
     # two endpoints on node 0 bundled together
-    ep0b = cluster.run_process(create_endpoint(server_node, rngs=cluster.rngs), "eb")
+    ep0b = cluster.run_process(new_endpoint(server_node, rngs=cluster.rngs), "eb")
     bundle = Bundle([ep0, ep0b])
     assert len(bundle) == 2
     assert list(iter(bundle)) == [ep0, ep0b]
@@ -303,11 +303,11 @@ def test_bundle_polls_round_robin():
 def test_star_vnet_shapes():
     cluster = build(8)
     servers, clients = cluster.run_process(
-        build_star_vnet(cluster, 0, [1, 2, 3], shared_server_ep=True), "star"
+        star_vnet(cluster, 0, [1, 2, 3], shared_server_ep=True), "star"
     )
     assert len(servers) == 1 and len(clients) == 3
     servers2, clients2 = cluster.run_process(
-        build_star_vnet(cluster, 0, [1, 2, 3], shared_server_ep=False), "star2"
+        star_vnet(cluster, 0, [1, 2, 3], shared_server_ep=False), "star2"
     )
     assert len(servers2) == 3
     # each client maps index 0 at its server endpoint

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.am import Bundle, build_parallel_vnet, create_endpoint
+from repro.am import Bundle, parallel_vnet, new_endpoint
 from repro.cluster import Cluster, ClusterConfig
 from repro.sim import ms, us
 
@@ -15,7 +15,7 @@ def test_event_only_on_empty_to_nonempty_transition():
     """The NI notifies only when a message lands in an EMPTY queue, so a
     busy endpoint does not generate a wakeup per message."""
     cluster = build()
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "v")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "v")
     ep0, ep1 = vnet[0], vnet[1]
     ep1.set_event_mask({"recv"})
     got = []
@@ -49,7 +49,7 @@ def test_event_only_on_empty_to_nonempty_transition():
 def test_returned_event_mask_wakes_waiter():
     """The 'returned' transition can also be sensitized (Section 3.3)."""
     cluster = build(dead_timeout_ms=10.0)
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "v")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "v")
     ep0 = vnet[0]
     ep0.map(5, (1, 99), key=1)  # nonexistent endpoint
     ep0.set_event_mask({"returned"})
@@ -71,7 +71,7 @@ def test_returned_event_mask_wakes_waiter():
 
 def test_exclusive_endpoint_skips_lock_cost():
     cluster = build()
-    ep = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
+    ep = cluster.run_process(new_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
     assert ep._lock_cost() == 0
     ep.set_shared(True)
     assert ep._lock_cost() == cluster.cfg.shared_ep_lock_ns
@@ -81,10 +81,10 @@ def test_exclusive_endpoint_skips_lock_cost():
 
 def test_bundle_wait_any_wakes_for_any_member():
     cluster = build()
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "v")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "v")
     sender_ep = vnet[1]
     ep_a = vnet[0]
-    ep_b = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "b")
+    ep_b = cluster.run_process(new_endpoint(cluster.node(0), rngs=cluster.rngs), "b")
     sender_ep.map(7, ep_b.name, ep_b.tag)
     bundle = Bundle([ep_a, ep_b])
     got = []
@@ -117,7 +117,7 @@ def test_bundle_wait_any_wakes_for_any_member():
 
 def test_bundle_remove_and_empty_wait_rejected():
     cluster = build()
-    ep = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
+    ep = cluster.run_process(new_endpoint(cluster.node(0), rngs=cluster.rngs), "e")
     bundle = Bundle([ep])
     bundle.remove(ep)
     assert len(bundle) == 0

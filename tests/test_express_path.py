@@ -247,6 +247,38 @@ def test_express_stats_are_not_part_of_network_stats():
     assert "commits" not in asdict(net.stats)
 
 
+def test_shard_boundary_demotes_before_express_and_local_stats():
+    """A cached route can never span shards: with a boundary installed,
+    a cross-shard send is demoted to a trunk handoff *before* express
+    lookup, stats updates, or any RNG draw — and the demotion is
+    counted separately so the express hit rate stays honest."""
+    from repro.myrinet.shardlink import ShardBoundary
+
+    sim, net, cfg = make_net(4, express=True)
+    records = []
+    # this fabric owns global hosts 4..7 (shard 1 of 2)
+    net.install_boundary(ShardBoundary(1, 4, 4, cfg, records.append))
+    log = []
+    net.attach(0, lambda p: log.append(p))  # local host, global id 4
+
+    # warm an express route on local traffic (global ids 4 -> 5)
+    net.send(Packet(4, 5, PacketType.DATA, payload_bytes=64, msg_id=1))
+    sim.run()
+    assert net.stats.sent == 1
+    before = dict(vars(net.stats)), net.express.hits()
+
+    # now a cross-shard destination: global host 1 lives on shard 0
+    net.send(Packet(4, 1, PacketType.DATA, payload_bytes=64, msg_id=2))
+    sim.run()
+    assert net.express.boundary_demotions == 1
+    assert len(records) == 1
+    arrive, src_shard, seq, src_g, dst_g, mid, nbytes, _kind = records[0]
+    assert (src_shard, src_g, dst_g, mid, nbytes) == (1, 4, 1, 2, 64)
+    assert arrive >= cfg.shard_trunk_base_ns
+    # the local fabric never saw the packet: no stats, no express hit
+    assert (dict(vars(net.stats)), net.express.hits()) == before
+
+
 # ------------------------------------------------------ attach lifecycle
 def test_detach_and_reattach():
     sim, net, _ = make_net(4)

@@ -2,7 +2,7 @@
 RTT-estimated retransmission scheduling and piggybacked acknowledgments.
 """
 
-from repro.am import build_parallel_vnet
+from repro.am import parallel_vnet
 from repro.cluster import Cluster, ClusterConfig
 from repro.sim import ms
 
@@ -10,7 +10,7 @@ from repro.sim import ms
 def run_stream(cluster, count=200, until_ms=2_000):
     """One-way request stream between nodes 0 and 1; returns handled count."""
     sim = cluster.sim
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
     got = []
 
@@ -62,7 +62,7 @@ def test_rtt_estimation_recovers_losses_faster():
             )
         )
         sim = cluster.sim
-        vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "s")
+        vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "s")
         ep0, ep1 = vnet[0], vnet[1]
         got = []
         done_at = {}
@@ -113,7 +113,7 @@ def test_piggyback_reduces_explicit_acks():
     def count_acks(enable):
         cluster = Cluster(ClusterConfig(num_hosts=4, enable_piggyback_acks=enable))
         sim = cluster.sim
-        vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "s")
+        vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "s")
         ep0, ep1 = vnet[0], vnet[1]
         replies = [0]
 

@@ -10,7 +10,7 @@ timeline as the transport events they perturb (the injector's old ad-hoc
 ``self.log`` list stays for back-compat, but the bus is the real record).
 """
 
-from repro.am import build_parallel_vnet
+from repro.am import parallel_vnet
 from repro.cluster import Cluster, ClusterConfig
 from repro.sim import ms, us
 
@@ -29,7 +29,7 @@ def _ordered_cfg(**kw):
 def test_corruption_is_masked_by_crc_and_retransmission():
     cluster = Cluster(_ordered_cfg(seed=7))
     cluster.faults.set_corruption(0.15)
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
     got, returned = [], []
     ep0.undeliverable_handler = lambda msg, reason: returned.append(reason)
@@ -66,7 +66,7 @@ def test_dead_endpoint_returns_to_sender_while_loss_stays_masked():
     arrive — loss never surfaces, death always does."""
     cluster = Cluster(ClusterConfig(num_hosts=4, seed=9))
     cluster.faults.set_loss(0.05)
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1, 2]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1, 2]), "setup")
     ep0, ep1, ep2 = vnet[0], vnet[1], vnet[2]
     sim = cluster.sim
     delivered_live, returned = [], []
@@ -139,7 +139,7 @@ def test_fault_injections_share_the_trace_bus_timeline():
     order with the transport events they disturb."""
     cluster = Cluster(_ordered_cfg(seed=5))
     bus = cluster.enable_tracing()
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
     got = []
     sim = cluster.sim
@@ -207,7 +207,7 @@ def test_spine_hotswap_mid_bulk_transfer():
     bus = cluster.enable_tracing()
     sim = cluster.sim
     # hosts 0 and 4 sit on different leaves -> all data crosses the spines
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 4]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 4]), "setup")
     src, dst = vnet[0], vnet[1]
     payload, ntransfers = 24_576, 8
     done, returned = [], []
@@ -268,7 +268,7 @@ def _bulk_stream_run(crash_at=None, reboot_at=None, seed=23):
     cluster = Cluster(ClusterConfig(num_hosts=8, seed=seed, dead_timeout_ms=8.0))
     bus = cluster.enable_tracing()
     sim = cluster.sim
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 4]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 4]), "setup")
     src, dst = vnet[0], vnet[1]
     payload, ntransfers = 24_576, 6
     done = []

@@ -5,7 +5,7 @@ import pytest
 from repro.cluster import Cluster, ClusterConfig
 from repro.lib.rpc import RpcClient, RpcError, RpcServer
 from repro.lib.splitc import build_splitc_world
-from repro.am import build_parallel_vnet
+from repro.am import parallel_vnet
 from repro.sim import ms
 
 
@@ -80,7 +80,7 @@ def test_comm_time_tracked():
 # ---------------------------------------------------------------------- RPC
 def rpc_pair():
     cluster = build(4)
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "setup")
     server_ep, client_ep = vnet[0], vnet[1]
     server = RpcServer(server_ep)
     client = RpcClient(client_ep, server_index=0)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.am import NameService, create_endpoint
+from repro.am import NameService, new_endpoint
 from repro.cluster import Cluster, ClusterConfig
 from repro.nic import LamportClock, Residency
 from repro.sim import ms
@@ -30,9 +30,9 @@ def test_nameservice_rendezvous_end_to_end():
     """Names are opaque and obtainable by any rendezvous mechanism (§3.1)."""
     cluster = Cluster(ClusterConfig(num_hosts=2))
     ns = NameService()
-    server_ep = cluster.run_process(create_endpoint(cluster.node(0), rngs=cluster.rngs), "s")
+    server_ep = cluster.run_process(new_endpoint(cluster.node(0), rngs=cluster.rngs), "s")
     ns.register("service", server_ep.name, server_ep.tag)
-    client_ep = cluster.run_process(create_endpoint(cluster.node(1), rngs=cluster.rngs), "c")
+    client_ep = cluster.run_process(new_endpoint(cluster.node(1), rngs=cluster.rngs), "c")
     name, key = ns.lookup("service")
     client_ep.map(0, name, key)
     got = []
@@ -62,7 +62,7 @@ def test_process_terminate_frees_endpoints():
     cluster = Cluster(ClusterConfig(num_hosts=2))
     node = cluster.node(0)
     proc = node.start_process("app")
-    ep = cluster.run_process(create_endpoint(node, rngs=cluster.rngs), "e")
+    ep = cluster.run_process(new_endpoint(node, rngs=cluster.rngs), "e")
     proc.adopt_endpoint(ep.state)
 
     def worker(thr):

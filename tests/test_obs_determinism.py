@@ -14,7 +14,7 @@ chrome://tracing and Perfetto consume.
 
 import json
 
-from repro.am import build_parallel_vnet
+from repro.am import parallel_vnet
 from repro.cluster import Cluster, ClusterConfig
 from repro.obs import to_chrome_trace, write_chrome_trace
 from repro.sim import ms, us
@@ -33,7 +33,7 @@ def _contended_run(trace: bool):
     cfg = ClusterConfig(num_hosts=4, seed=11, packet_loss_prob=0.02)
     cluster = Cluster(cfg)
     bus = cluster.enable_tracing() if trace else None
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1, 2, 3]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1, 2, 3]), "setup")
     sim = cluster.sim
     deliveries: list[tuple[int, int, int]] = []
     total = NCLIENTS * MSGS_PER_CLIENT

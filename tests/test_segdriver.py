@@ -352,7 +352,8 @@ def test_new_residency_knobs_validate():
 
 
 def test_api_facade_lists_policies():
-    from repro.api import replacement_policies
+    from repro.api import describe
 
-    assert replacement_policies() == sorted(replacement_policies())
-    assert {"random", "lru", "clock", "active-preference"} <= set(replacement_policies())
+    policies = describe()["replacement_policies"]
+    assert policies == sorted(policies)
+    assert {"random", "lru", "clock", "active-preference"} <= set(policies)

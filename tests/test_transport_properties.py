@@ -24,7 +24,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.am import build_parallel_vnet
+from repro.am import parallel_vnet
 from repro.cluster import Cluster, ClusterConfig
 from repro.sim import ms, us
 
@@ -43,7 +43,7 @@ def _stream(loss: float, seed: int, nmsgs: int, horizon_ms: int = 30_000):
         dead_timeout_ms=60_000.0,
     )
     cluster = Cluster(cfg)
-    vnet = cluster.run_process(build_parallel_vnet(cluster, [0, 1]), "setup")
+    vnet = cluster.run_process(parallel_vnet(cluster, [0, 1]), "setup")
     ep0, ep1 = vnet[0], vnet[1]
     got: list[int] = []
     returned: list[object] = []
