@@ -20,6 +20,12 @@ from typing import Optional, Sequence
 
 
 def _cmd_bench(argv):
+    # `bench collectives ...` routes to the collective-strategy suite;
+    # everything else stays with the perf regression harness.
+    if argv and argv[0] == "collectives":
+        from .bench.collectives import main as coll_main
+
+        return coll_main(argv[1:])
     from .bench.perf import main
 
     return main(argv)

@@ -458,3 +458,66 @@ class Endpoint:
             waits.append(self.node.sim.timeout(timeout_ns, "timeout"))
         idx, _ = yield from thr.block(AnyOf(self.node.sim, waits))
         return self.has_pending() or idx == 0
+
+    # ============================================================ collectives
+    def collective(
+        self,
+        thr: Thread,
+        op: str,
+        coll_id: int,
+        members,
+        root: int,
+        value: Any = None,
+        op_name: str = "sum",
+        nbytes: int = 8,
+        strategy: Optional[str] = None,
+    ) -> Generator:
+        """Initiate a firmware collective and block for its completion.
+
+        ``op`` is ``"barrier"``, ``"bcast"`` or ``"reduce"``; ``members``
+        are the participating node ids (this node included) and ``root``
+        the tree root.  ``coll_id`` must be agreed across members *by
+        program order* (the ``lib.mpi`` communicator derives it from its
+        synchronized collective sequence number) so every NI folds
+        contributions of the same logical operation together.  The host
+        charges one descriptor write (Os); the NI firmware does
+        everything else.  Completion follows the same spin-then-block
+        discipline as :meth:`wait`.  Raises
+        :class:`~repro.nic.collective.CollectiveTimeout` after
+        ``cfg.coll_timeout_ms`` or when the local NI resets mid-flight.
+        """
+        self._check_alive()
+        sim = self.node.sim
+        members = tuple(sorted(members))
+        if strategy is None:
+            strategy = self.cfg.collective_strategy
+            if strategy == "host":
+                strategy = "firmware"
+        if len(members) < 2:
+            # Degenerate single-member vnet: nothing to synchronize.
+            return value if op in ("bcast", "reduce") else None
+        yield from thr.compute(self._send_overhead_ns() + self._lock_cost())
+        handle = self.nic.coll.host_initiate(
+            op, coll_id, members, root, value=value, op_name=op_name,
+            payload_bytes=nbytes, strategy=strategy)
+        deadline = sim.now + round(self.cfg.coll_timeout_ms * 1_000_000)
+        spin_end = sim.now + round(self.cfg.spin_before_block_us * 1_000)
+        while sim.now < spin_end:
+            if handle.done or handle.failed:
+                break
+            yield from thr.compute(self._poll_touch_ns())
+        while not (handle.done or handle.failed):
+            remaining = deadline - sim.now
+            if remaining <= 0:
+                break
+            waits = [handle.cv.wait(), sim.timeout(remaining, "timeout")]
+            yield from thr.block(AnyOf(sim, waits))
+        if handle.done:
+            return handle.value
+        from ..nic.collective import CollectiveTimeout
+        if handle.failed:
+            raise CollectiveTimeout(
+                f"{op} id={coll_id} aborted: NI {self.state.node} reset")
+        raise CollectiveTimeout(
+            f"{op} id={coll_id} timed out on node {self.state.node} "
+            f"after {self.cfg.coll_timeout_ms}ms")

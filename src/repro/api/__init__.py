@@ -131,12 +131,19 @@ def _bench_shard_scaling(engine, **opts):
     return run_shard_scaling(**opts)
 
 
+def _bench_collectives(engine, **opts):
+    from ..bench.collectives import run_collectives
+
+    return run_collectives(engine=engine, **opts)
+
+
 BENCHES = {
     "perf": _bench_perf,
     "calib": _bench_calib,
     "scale": _bench_scale,
     "tenant": _bench_tenant,
     "shard_scaling": _bench_shard_scaling,
+    "collectives": _bench_collectives,
 }
 
 

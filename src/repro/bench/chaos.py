@@ -32,7 +32,7 @@ from .reporting import print_table
 __all__ = ["run_matrix", "main"]
 
 #: (workload, kwargs) pairs exercised by the full matrix
-_WORKLOADS = ("pairwise", "bulk", "client_server")
+_WORKLOADS = ("pairwise", "bulk", "client_server", "collective")
 
 
 def run_matrix(
@@ -106,7 +106,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.smoke:
         args.seeds = [1, 2]
-        args.scenarios = ["loss_ramp", "crash_storm", "kill_storm", "mixed"]
+        args.scenarios = ["loss_ramp", "crash_storm", "kill_storm", "mixed",
+                          "collective_storm"]
 
     reports = run_matrix(
         args.seeds,

@@ -1,0 +1,216 @@
+"""Collective-strategy benchmark: host vs firmware vs express trees.
+
+One cell per (cluster size, strategy): a full ``lib.mpi`` world runs
+Barrier, Bcast (1 KiB from rank 0) and Reduce (integer sum) once each
+after a warm-up barrier, on an otherwise idle fabric.  The figure of
+merit is the **simulated makespan** of each operation — latest rank
+completion minus earliest rank start — which is machine-independent, so
+the strategy comparison is gateable in CI:
+
+* ``host``     — the dissemination/binomial message patterns over AM;
+* ``firmware`` — NI-forwarded k-ary spanning trees (one descriptor per
+  host, all interior steps in LANai firmware);
+* ``express``  — the same up tree, down phase posted as one fabric
+  multicast over the precomputed spanning tree.
+
+The committed gate: at 128 nodes the express tree must beat the host
+tree by ``EXPRESS_GATE``x on every operation.  Results merge into
+``BENCH_PERF.json`` under the ``collectives`` key (``--out`` elsewhere
+for CI artifacts); ``--smoke`` shrinks the sizes and runs the whole
+suite twice, asserting bit-identical digests.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro bench collectives --smoke
+    PYTHONPATH=src python -m repro.bench.collectives --sizes 32 128 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+from typing import Optional, Sequence
+
+from ..cluster.config import ClusterConfig
+from ..sim.core import SimError
+from .reporting import print_table
+
+__all__ = ["EXPRESS_GATE", "STRATEGIES", "run_cell", "run_collectives", "main"]
+
+STRATEGIES = ("host", "firmware", "express")
+OPS = ("barrier", "bcast", "reduce")
+SIZES = (32, 128, 512)
+SMOKE_SIZES = (8, 16)
+#: required host/express makespan ratio at the gate size, every op
+EXPRESS_GATE = 1.5
+GATE_SIZE = 128
+BCAST_BYTES = 1024
+
+
+def run_cell(size: int, strategy: str, engine=None,
+             cfg: Optional[ClusterConfig] = None) -> dict:
+    """One (size, strategy) cell; returns op makespans + digest."""
+    from ..api import Cluster
+    from ..lib.mpi import build_world
+
+    cfg = (cfg or ClusterConfig()).with_(
+        num_hosts=size, collective_strategy=strategy)
+    spans: dict[int, list] = {}
+    t0 = time.perf_counter()
+    with Cluster(cfg, engine=engine) as cl:
+        world = cl.run_process(build_world(cl, list(range(size))), "coll")
+
+        def main_body(thr, comm):
+            out = []
+            yield from comm.barrier(thr)  # align ranks before measuring
+            for op in OPS:
+                start = cl.sim.now
+                if op == "barrier":
+                    result = yield from comm.barrier(thr)
+                elif op == "bcast":
+                    result = yield from comm.bcast(
+                        thr, 0, BCAST_BYTES,
+                        payload=("blob", size) if comm.rank == 0 else None)
+                else:
+                    result = yield from comm.reduce(
+                        thr, 0, comm.rank + 1, "sum", 8)
+                out.append((op, start, cl.sim.now, result))
+            spans[comm.rank] = out
+
+        world.spawn(main_body)
+        cl.run()
+        events = cl.sim.events_dispatched
+        sim_ns = cl.sim.now
+    wall = time.perf_counter() - t0
+
+    latency = {}
+    for i, op in enumerate(OPS):
+        starts = [spans[r][i][1] for r in range(size)]
+        ends = [spans[r][i][2] for r in range(size)]
+        latency[op] = max(ends) - min(starts)
+
+    # Semantic conformance folded into every bench run: the broadcast
+    # payload lands on every rank, the reduce sum lands only at root.
+    ok = all(spans[r][1][3] == ("blob", size) for r in range(size))
+    total = size * (size + 1) // 2
+    ok = ok and spans[0][2][3] == total
+    ok = ok and all(spans[r][2][3] is None for r in range(1, size))
+
+    h = hashlib.sha256()
+    for r in range(size):
+        h.update(repr((r, spans[r])).encode())
+    return {
+        "size": size,
+        "strategy": strategy,
+        "latency_ns": latency,
+        "semantics_ok": ok,
+        "events": events,
+        "sim_ns": sim_ns,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+        "digest": h.hexdigest(),
+    }
+
+
+def run_collectives(sizes: Sequence[int] = SIZES,
+                    strategies: Sequence[str] = STRATEGIES,
+                    engine=None) -> dict:
+    """The full size x strategy matrix plus the express-vs-host gate."""
+    cells = {}
+    for size in sizes:
+        for strategy in strategies:
+            cells[f"{strategy}@{size}"] = run_cell(size, strategy, engine)
+    out: dict = {"sizes": list(sizes), "strategies": list(strategies),
+                 "cells": cells}
+    gate = GATE_SIZE if GATE_SIZE in sizes else max(sizes)
+    host = cells.get(f"host@{gate}")
+    express = cells.get(f"express@{gate}")
+    if host is not None and express is not None:
+        ratios = {op: round(host["latency_ns"][op] / express["latency_ns"][op], 2)
+                  for op in OPS}
+        out["gate"] = {
+            "size": gate,
+            "required_speedup": EXPRESS_GATE,
+            "express_vs_host": ratios,
+            "ok": min(ratios.values()) >= EXPRESS_GATE,
+        }
+    out["semantics_ok"] = all(c["semantics_ok"] for c in cells.values())
+    h = hashlib.sha256()
+    for key in sorted(cells):
+        h.update(cells[key]["digest"].encode())
+    out["digest"] = h.hexdigest()
+    return out
+
+
+def _print(result: dict) -> None:
+    rows = []
+    for key in sorted(result["cells"], key=lambda k: (int(k.split("@")[1]), k)):
+        c = result["cells"][key]
+        rows.append([
+            c["size"], c["strategy"],
+            *(f"{c['latency_ns'][op] / 1000:.1f}" for op in OPS),
+            "ok" if c["semantics_ok"] else "FAIL",
+            f"{c['events_per_sec']:,}/s",
+        ])
+    print_table(["nodes", "strategy", "barrier us", "bcast us", "reduce us",
+                 "semantics", "throughput"], rows,
+                title="collective strategies (simulated makespan)")
+    gate = result.get("gate")
+    if gate:
+        status = "PASS" if gate["ok"] else "FAIL"
+        print(f"express-vs-host gate at {gate['size']} nodes "
+              f"(need >= {gate['required_speedup']}x): "
+              f"{gate['express_vs_host']} -> {status}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--sizes", type=int, nargs="+", default=list(SIZES))
+    ap.add_argument("--strategies", nargs="+", default=list(STRATEGIES),
+                    choices=STRATEGIES, metavar="STRATEGY")
+    ap.add_argument("--engine", default=None,
+                    choices=("sequential", "reference", "sharded"))
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI sizes plus a second full pass asserting "
+                         "bit-identical digests (determinism gate)")
+    ap.add_argument("--out", default="BENCH_PERF.json",
+                    help="JSON to merge the 'collectives' section into "
+                         "(created if missing; other keys preserved)")
+    args = ap.parse_args(argv)
+
+    sizes = list(SMOKE_SIZES) if args.smoke else args.sizes
+    result = run_collectives(sizes, args.strategies, engine=args.engine)
+    _print(result)
+    if args.smoke:
+        again = run_collectives(sizes, args.strategies, engine=args.engine)
+        if again["digest"] != result["digest"]:
+            raise SimError(
+                f"collectives smoke is nondeterministic: "
+                f"{result['digest'][:12]} != {again['digest'][:12]}")
+        print(f"double-run digest match: {result['digest'][:16]}")
+
+    try:
+        with open(args.out) as f:
+            doc = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        doc = {"schema": 1}
+    doc["collectives"] = result
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    if not result["semantics_ok"]:
+        print("SEMANTIC FAILURE: a collective returned wrong results")
+        return 1
+    gate = result.get("gate")
+    if gate is not None and not gate["ok"]:
+        print(f"GATE FAILURE: express tree under {EXPRESS_GATE}x vs host")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,12 +33,13 @@ from .runner import ChaosReport, chaos_config, reset_global_ids, run_chaos, time
 from .schedule import (PROFILES, SCENARIO_FAMILIES, FaultAction, Scenario,
                        ScheduleGenerator)
 from .workloads import (WORKLOADS, BulkWorkload, ChaosWorkload,
-                        ClientServerWorkload, PairwiseWorkload, make_workload)
+                        ClientServerWorkload, CollectiveWorkload,
+                        PairwiseWorkload, make_workload)
 
 __all__ = [
     "FaultAction", "Scenario", "ScheduleGenerator", "SCENARIO_FAMILIES", "PROFILES",
     "ChaosWorkload", "PairwiseWorkload", "BulkWorkload", "ClientServerWorkload",
-    "WORKLOADS", "make_workload",
+    "CollectiveWorkload", "WORKLOADS", "make_workload",
     "DeliveryChecker", "Violation", "check_quiescence",
     "IsolationSLO", "check_isolation",
     "ChaosReport", "chaos_config", "run_chaos", "reset_global_ids", "timeline_digest",

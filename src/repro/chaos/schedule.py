@@ -67,6 +67,7 @@ SCENARIO_FAMILIES = (
     "evict_pressure",
     "mixed",
     "tenant_storm",
+    "collective_storm",
 )
 
 
@@ -401,6 +402,23 @@ class ScheduleGenerator:
         pieces += [a for a in pauses if a.params[0] not in dead_pairs]
         pieces += self._evicts(self._rng("tenant.evict"))
         return self._scenario("tenant_storm", pieces)
+
+    def _gen_collective_storm(self) -> Scenario:
+        """Tree-hostile faults aimed at in-flight collectives.
+
+        Host-link flaps sever spanning-tree edges mid-broadcast (an
+        express multicast flight crossing the flapped link must demote
+        to the store-and-forward path and replay), and a crash/reboot
+        takes out a tree-interior NI so its per-(root, vnet) collective
+        state is dropped and the survivors' operations time out instead
+        of deadlocking.  Composed purely from name-keyed RNG streams so
+        every previously pinned schedule digest is unchanged.
+        """
+        pieces: list[FaultAction] = []
+        pieces += self._flaps(self._rng("collective.flap"), "hostlink",
+                              self.host_pool)
+        pieces += self._crashes(self._rng("collective.crash"))
+        return self._scenario("collective_storm", pieces)
 
     def _gen_mixed(self) -> Scenario:
         """A bit of everything, composed from the other families."""

@@ -32,8 +32,8 @@ if TYPE_CHECKING:
     from ..nic.endpoint_state import EndpointState
     from ..osim.process import UserProcess
 
-__all__ = ["ChaosWorkload", "PairwiseWorkload", "BulkWorkload",
-           "ClientServerWorkload", "WORKLOADS", "make_workload"]
+__all__ = ["ChaosWorkload", "PairwiseWorkload", "CollectiveWorkload",
+           "BulkWorkload", "ClientServerWorkload", "WORKLOADS", "make_workload"]
 
 #: poll backoff while idle (ns) — short enough to see stop flags promptly
 _IDLE_NS = 20_000
@@ -229,6 +229,78 @@ class PairwiseWorkload(ChaosWorkload):
                 self._receiver_body(ep), name=f"pair{rank}.recv"))
 
 
+class CollectiveWorkload(PairwiseWorkload):
+    """Pairwise point-to-point traffic plus firmware collectives.
+
+    Each rank additionally runs a round-loop of NI-offloaded collectives
+    (barrier / bcast / reduce, rotating roots) through
+    :meth:`~repro.am.endpoint.Endpoint.collective` with the *express*
+    strategy, so chaos schedules hit spanning-tree state in NI SRAM and
+    in-flight express multicast down-phases.  A round that times out
+    (tree member crashed or unreachable) abandons the remaining rounds on
+    that rank — :class:`~repro.nic.collective.CollectiveTimeout` is the
+    expected fault answer, never a hang — while the inherited pairwise
+    traffic keeps the AM-level delivery contract auditable (COLL control
+    packets are invisible to it by design).
+    """
+
+    name = "collective"
+
+    def __init__(self, ranks: int = 4, requests: int = 40, payload: int = 16,
+                 rounds: int = 6, strategy: str = "express",
+                 round_gap_ns: int = 2_500_000):
+        super().__init__(ranks=ranks, requests=requests, payload=payload)
+        self.rounds = rounds
+        self.strategy = strategy
+        #: inter-round spacing: collectives are us-scale, fault schedules
+        #: ms-scale, so unpaced rounds would all finish before the first
+        #: injection; the gap spreads them across the scenario window.
+        self.round_gap_ns = round_gap_ns
+        self.coll_completed = 0
+        self.coll_timeouts = 0
+
+    def _collective_body(self, ep: Endpoint, rank: int) -> Generator:
+        from ..nic.collective import CollectiveTimeout
+
+        members = tuple(range(self.ranks))
+        ops = ("barrier", "bcast", "reduce")
+
+        def body(thr: Thread) -> Generator:
+            try:
+                for r in range(self.rounds):
+                    if r:
+                        yield from thr.sleep(self.round_gap_ns)
+                    op = ops[r % len(ops)]
+                    root = r % self.ranks
+                    try:
+                        yield from ep.collective(
+                            thr, op, 1000 + r, members, root,
+                            value=(rank + 1) if op != "barrier" else None,
+                            op_name="sum", strategy=self.strategy)
+                        self.coll_completed += 1
+                    except CollectiveTimeout:
+                        # A member died or the tree never healed in time:
+                        # the job aborts its collective phase, bounding
+                        # the run at one timeout period per rank.
+                        self.coll_timeouts += 1
+                        return
+            except EndpointFreedError:
+                return  # our process was killed mid-collective: clean exit
+            finally:
+                self._mark_sender_done()
+        return body
+
+    def start(self) -> None:
+        super().start()
+        for rank in range(self.ranks):
+            proc = self.procs[rank]
+            if proc.terminated:
+                continue
+            self.sender_threads.append(proc.spawn_thread(
+                self._collective_body(self.vnet[rank], rank),
+                name=f"coll{rank}"))
+
+
 class BulkWorkload(ChaosWorkload):
     """One node streams bulk transfers (fragmented at the MTU, staged over
     the SBus DMA) to a sink — the shape whose mid-transfer state the
@@ -308,6 +380,7 @@ WORKLOADS = {
     "pairwise": PairwiseWorkload,
     "bulk": BulkWorkload,
     "client_server": ClientServerWorkload,
+    "collective": CollectiveWorkload,
 }
 
 

@@ -93,6 +93,33 @@ class ClusterConfig:
     #: servicing one driver (system-endpoint) request
     ni_driver_op_instr: int = 220
 
+    # ----------------------------------------------------- NI collectives
+    #: firmware-forwarded collectives (barrier/broadcast/reduce, Yu et al.
+    #: style): the host posts one descriptor to its local NI and the
+    #: spanning tree is walked NI-to-NI without host round-trips.  Each
+    #: firmware step charges an instruction budget against the NI's LogP
+    #: occupancy, like every other firmware operation.
+    #: Host-initiated collective setup (descriptor parse, tree lookup,
+    #: first up/down packet launch):
+    ni_coll_init_instr: int = 150
+    #: forwarding one up-phase (towards-root) collective packet:
+    ni_coll_up_instr: int = 120
+    #: forwarding one down-phase (fan-out) collective packet:
+    ni_coll_down_instr: int = 96
+    #: folding one child contribution into the partial reduce value:
+    ni_coll_combine_instr: int = 28
+    #: which tree walks the collective: "host" (lib.mpi point-to-point
+    #: trees, the baseline), "firmware" (k-ary NI spanning tree), or
+    #: "express" (flat firmware tree whose fan-out rides the fabric's
+    #: express multicast path)
+    collective_strategy: str = "host"
+    #: interior fan-out of the firmware spanning tree
+    coll_fanout: int = 4
+    #: host-side completion timeout: collective packets are fire-and-forget
+    #: (no stop-and-wait channel), so a lost packet or crashed tree node
+    #: surfaces as a clean CollectiveTimeout rather than a deadlock
+    coll_timeout_ms: float = 50.0
+
     # --------------------------------------------------- first-gen AM (GAM)
     #: the single-endpoint baseline skips the transport protocol entirely;
     #: per-direction occupancy ~2.9 us, so request+reply gap ~5.8 us and
@@ -423,6 +450,15 @@ class ClusterConfig:
             raise ValueError("need at least one flow-control channel")
         if self.dup_window < 1:
             raise ValueError("duplicate-suppression window must be positive")
+        if self.collective_strategy not in ("host", "firmware", "express"):
+            raise ValueError(
+                f"unknown collective strategy {self.collective_strategy!r}; "
+                "choose from 'host', 'firmware', 'express'"
+            )
+        if self.coll_fanout < 2:
+            raise ValueError("coll_fanout must be >= 2")
+        if self.coll_timeout_ms <= 0:
+            raise ValueError("coll_timeout_ms must be positive")
         # Lazy: the engine registry imports this module.
         from ..api.engine import ENGINE_NAMES
 

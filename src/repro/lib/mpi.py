@@ -27,6 +27,7 @@ from typing import Any, Callable, Generator, Optional, Sequence
 from ..am.endpoint import Endpoint
 from ..am.vnet import parallel_vnet
 from ..cluster.builder import Cluster
+from ..nic.collective import COMBINE_OPS
 from ..osim.threads import Thread
 
 __all__ = ["ANY", "Comm", "World", "build_world"]
@@ -119,10 +120,54 @@ class Comm:
         self._coll_seq += 1
         return ("__coll", name, self._coll_seq)
 
+    def _strategy(self) -> str:
+        """Which implementation Barrier/Bcast/Reduce use, per ClusterConfig.
+
+        ``host`` is the message-pattern implementation below; ``firmware``
+        and ``express`` offload to the NI collective engine.  Firmware
+        trees are per-NI, so a world with co-located ranks (two ranks on
+        one node) always falls back to the host trees.
+        """
+        s = self.endpoint.cfg.collective_strategy
+        if s == "host":
+            return "host"
+        nodes = self.world.nodes
+        if len(set(nodes)) != len(nodes):
+            return "host"
+        return s
+
+    def _nic_collective(self, thr: Thread, op: str, root: int, value: Any = None,
+                        op_name: str = "sum", nbytes: int = 8,
+                        strategy: str = "firmware") -> Generator:
+        """One firmware/express collective through this rank's endpoint.
+
+        The operation id is the communicator's collective sequence number
+        — synchronized across ranks by MPI's rule that all ranks call
+        collectives in the same order — so every NI folds contributions
+        of the same logical operation together.
+        """
+        t0 = self.world.sim.now
+        self._coll_seq += 1
+        nodes = self.world.nodes
+        result = yield from self.endpoint.collective(
+            thr, op, self._coll_seq, nodes, nodes[root], value=value,
+            op_name=op_name, nbytes=nbytes, strategy=strategy)
+        self.comm_ns += self.world.sim.now - t0
+        return result
+
     def barrier(self, thr: Thread) -> Generator:
-        """Dissemination barrier: ceil(log2 n) rounds of pairwise messages."""
+        """Barrier: a true synchronization point across all ranks.
+
+        Host strategy runs a dissemination barrier (ceil(log2 n) rounds
+        of pairwise messages); firmware/express offload one descriptor to
+        the NI spanning tree.
+        """
         n = self.size
         if n == 1:
+            return
+        strategy = self._strategy()
+        if strategy != "host":
+            yield from self._nic_collective(thr, "barrier", 0, strategy=strategy)
             return
         tag = self._tag("bar")
         rounds = max(1, math.ceil(math.log2(n)))
@@ -134,10 +179,21 @@ class Comm:
             yield from self.recv(thr, src, (*tag, k))
 
     def bcast(self, thr: Thread, root: int, nbytes: int, payload: Any = None) -> Generator:
-        """Binomial-tree broadcast; returns the payload on every rank."""
+        """Broadcast from ``root``; returns the payload on every rank.
+
+        Host strategy is a binomial tree; firmware forwards hop-by-hop
+        down the NI spanning tree; express posts the whole fan-out as one
+        fabric multicast from the root's NI.
+        """
         n = self.size
         if n == 1:
             return payload
+        strategy = self._strategy()
+        if strategy != "host":
+            result = yield from self._nic_collective(
+                thr, "bcast", root, value=payload, nbytes=nbytes,
+                strategy=strategy)
+            return result
         tag = self._tag("bcast")
         vrank = (self.rank - root) % n
         if vrank != 0:
@@ -161,11 +217,26 @@ class Comm:
             mask >>= 1
         return payload
 
-    def reduce(self, thr: Thread, root: int, value: Any, op: Callable[[Any, Any], Any], nbytes: int) -> Generator:
-        """Binomial-tree reduction to ``root``; returns the result there."""
+    def reduce(self, thr: Thread, root: int, value: Any, op, nbytes: int) -> Generator:
+        """Reduction to ``root``; returns the result there, None elsewhere.
+
+        ``op`` is either a two-argument callable or the name of an
+        integer combine op (:data:`~repro.nic.collective.COMBINE_OPS`).
+        Only named ops can offload — the NI firmware combines by name,
+        never by shipping host callables — so callable ops always use the
+        host binomial tree.
+        """
         n = self.size
         if n == 1:
             return value
+        strategy = self._strategy()
+        if isinstance(op, str):
+            if strategy != "host":
+                result = yield from self._nic_collective(
+                    thr, "reduce", root, value=value, op_name=op,
+                    nbytes=nbytes, strategy=strategy)
+                return result
+            op = COMBINE_OPS[op]
         tag = self._tag("reduce")
         vrank = (self.rank - root) % n
         acc = value

@@ -59,7 +59,7 @@ from ..sim.core import SimError, Simulator
 from ..sim.rng import RngStreams
 from .link import DirectedLink
 from .packet import Packet
-from .topology import FatTreeTopology
+from .topology import FatTreeTopology, McastTree
 
 __all__ = ["Network", "NetworkStats", "ExpressStats"]
 
@@ -100,6 +100,16 @@ class ExpressStats:
     #: expressible (the cached-route commit cannot span fabrics), always
     #: demoted to the store-and-forward trunk handoff
     boundary_demotions: int = 0
+    #: multicast trees committed as pooled-callback-batch flights
+    mcast_commits: int = 0
+    #: pooled callback batches fired (one per distinct tail time)
+    mcast_batches: int = 0
+    #: multicast flights fully delivered un-revoked
+    mcast_delivered: int = 0
+    #: multicast flights demoted to the wormhole fan-out
+    mcast_revoked: int = 0
+    #: multicast sends that fell back to the wormhole fan-out at commit
+    mcast_fallbacks: int = 0
 
     def hits(self) -> int:
         return self.commits + self.loopback
@@ -137,6 +147,46 @@ class _ExpressFlight:
             return self.tail_at
         return max(self.acquire_at(j + 1),
                    self.acquire_at(j) + self.route[j].wire_ns(self.nbytes))
+
+
+class _McastFlight:
+    """A committed express *multicast*: one precomputed wormhole fan-out.
+
+    The head wave crosses one tree level per hop time, so a link at level
+    ``j`` is acquired at ``t0 + j*hop_ns`` — exactly the unicast timing to
+    each destination.  Deliveries are grouped into **pooled callback
+    batches**, one per distinct terminal tail time (same-leaf terminals
+    land one batch earlier than remote ones); :meth:`Network._revoke_mcast`
+    reconstructs mid-fan-out wormhole state when the flight is demoted.
+    """
+
+    __slots__ = ("tree", "pkts", "nbytes", "t0", "hop_ns", "batches",
+                 "entries")
+
+    def __init__(self, tree: McastTree, pkts: dict, nbytes: int,
+                 t0: int, hop_ns: int):
+        self.tree = tree
+        self.pkts = pkts  # local dst -> Packet
+        self.nbytes = nbytes
+        self.t0 = t0
+        self.hop_ns = hop_ns
+        tails: dict[int, list] = {}
+        for dst, lvl, link in tree.terminals:
+            tail = t0 + lvl * hop_ns + link.wire_ns(nbytes)
+            tails.setdefault(tail, []).append((dst, lvl, link))
+        self.batches: list[tuple[int, list]] = sorted(tails.items())
+        #: pending delivery heap entries, one per batch (None = fired or
+        #: canceled)
+        self.entries: list[Optional[list]] = [None] * len(self.batches)
+
+    def acquire_at(self, lvl: int) -> int:
+        return self.t0 + lvl * self.hop_ns
+
+    def free_at(self, lvl: int, link: DirectedLink) -> int:
+        if link in self.tree.terminal_links:
+            return self.acquire_at(lvl) + link.wire_ns(self.nbytes)
+        return max(self.acquire_at(lvl + 1),
+                   self.acquire_at(lvl) + link.wire_ns(self.nbytes))
 
 
 class Network:
@@ -231,7 +281,7 @@ class Network:
         if self._express_enabled:
             self._express_enabled = False
             while self._flights:
-                self._revoke(self._flights[0])
+                self._revoke_any(self._flights[0])
 
     def _fabric_changed(self, obj) -> None:
         # A switch or link flipped state (fault injector or a test poking
@@ -287,6 +337,9 @@ class Network:
             self.express.reenabled += 1
         if self._express_enabled and not self.sim.trace.enabled and self._try_express(pkt):
             return
+        self._dispatch_slow(pkt)
+
+    def _dispatch_slow(self, pkt: Packet) -> None:
         if pkt.src_nic == pkt.dst_nic:
             self.sim.spawn(self._traverse_loopback(pkt), name=f"pkt{pkt.xmit_id}")
             return
@@ -295,6 +348,83 @@ class Network:
         # into per-link slow_refs once it knows its route.
         self._slow_pending += 1
         self.sim.spawn(self._traverse(pkt), name=f"pkt{pkt.xmit_id}")
+
+    def send_multicast(self, src: int, dsts, make_pkt: Callable[[int], Packet],
+                       channel: int = 0) -> None:
+        """Inject one fan-out from ``src`` to every destination in ``dsts``.
+
+        ``make_pkt(dst)`` constructs the per-destination packet; all
+        packets of one fan-out must have the same wire size (collective
+        descriptors do).  When a spanning tree exists the whole fan-out
+        traverses shared links once — and, on an idle fabric with the
+        express path armed, delivers as pooled callback batches (one per
+        distinct terminal tail time).  Per-destination delivery timing is
+        identical to unicast either way.  With a shard boundary
+        installed, cross-shard destinations are demoted to the trunk
+        packet-by-packet before any stats or RNG state is touched.
+        """
+        b = self.boundary
+        if b is not None:
+            remote = [d for d in dsts if not b.is_local(d)]
+            if remote:
+                if self._express_enabled and not self.sim.trace.enabled:
+                    self.express.boundary_demotions += len(remote)
+                for d in remote:
+                    b.handoff(make_pkt(d), self.sim.now)
+                dsts = [d for d in dsts if b.is_local(d)]
+        loop = [d for d in dsts if d == src]
+        dsts = [d for d in dsts if d != src]
+        for d in loop:
+            self.send(make_pkt(d))
+        if not dsts:
+            return
+        pkts: dict[int, Packet] = {}
+        for d in dsts:
+            pkt = make_pkt(d)
+            if b is not None:
+                pkt.src_nic = b.to_local(pkt.src_nic)
+                pkt.dst_nic = b.to_local(pkt.dst_nic)
+            pkts[pkt.dst_nic] = pkt
+        src_l = b.to_local(src) if b is not None else src
+        self.stats.sent += len(pkts)
+        # One loss draw and one corruption draw for the whole fan-out:
+        # the tree is a single worm, so it is lost or corrupted as a unit
+        # (and the RNG stream stays mode- and strategy-invariant).
+        if self.cfg.packet_loss_prob and self.rng.random() < self.cfg.packet_loss_prob:
+            self.stats.dropped_loss += len(pkts)
+            if self.sim.trace.enabled:
+                for pkt in pkts.values():
+                    self.sim.trace.emit("net.drop", pkt.src_nic, msg=pkt.msg_id,
+                                        dst=pkt.dst_nic, reason="loss")
+            return
+        if self.cfg.packet_corrupt_prob and self.rng.random() < self.cfg.packet_corrupt_prob:
+            for pkt in pkts.values():
+                pkt.corrupted = True
+        if (not self._express_enabled and self._rearm_at is not None
+                and not self._down and self.sim.now >= self._rearm_at):
+            self._express_enabled = True
+            self._rearm_at = None
+            self.express.reenabled += 1
+        tree = self.topology.multicast_tree(src_l, list(pkts), channel)
+        if tree is None:
+            # No single spanning tree covers the set (a needed link or
+            # spine is down): degrade to independent unicasts, each with
+            # its own express attempt and noroute/linkdown accounting.
+            for dst in sorted(pkts):
+                pkt = pkts[dst]
+                if (self._express_enabled and not self.sim.trace.enabled
+                        and self._try_express(pkt)):
+                    continue
+                self._dispatch_slow(pkt)
+            return
+        nbytes = next(iter(pkts.values())).wire_bytes(self.cfg.packet_header_bytes)
+        if (self._express_enabled and not self.sim.trace.enabled
+                and self._try_express_mcast(tree, pkts, nbytes)):
+            return
+        for link in tree.all_links:
+            link.slow_refs += 1
+        self.sim.spawn(self._traverse_mcast(tree, pkts, nbytes),
+                       name=f"mcast{next(iter(pkts.values())).xmit_id}")
 
     # ------------------------------------------------------- express path
     def _try_express(self, pkt: Packet) -> bool:
@@ -312,7 +442,7 @@ class Network:
         # any port preserves FIFO acquisition order.
         for link in route:
             if link.express_flight is not None:
-                self._revoke(link.express_flight)
+                self._revoke_any(link.express_flight)
         if self._slow_pending:
             # A slow send was just spawned and has not yet published its
             # route; it could be headed for any link, so be conservative.
@@ -421,6 +551,224 @@ class Network:
         finally:
             for link in route[m:]:
                 link.slow_refs -= 1
+
+    def _revoke_any(self, fl) -> None:
+        if isinstance(fl, _McastFlight):
+            self._revoke_mcast(fl)
+        else:
+            self._revoke(fl)
+
+    # -------------------------------------------------- express multicast
+    def _try_express_mcast(self, tree: McastTree, pkts: dict, nbytes: int) -> bool:
+        sim = self.sim
+        for link in tree.all_links:
+            if link.express_flight is not None:
+                self._revoke_any(link.express_flight)
+        if self._slow_pending:
+            self.express.mcast_fallbacks += 1
+            return False
+        now = sim.now
+        for link in tree.all_links:
+            if link.slow_refs or not link._port.idle or link.busy_until > now:
+                self.express.mcast_fallbacks += 1
+                return False
+        fl = _McastFlight(tree, pkts, nbytes, now, self._hop_ns)
+        for lvl, links in enumerate(tree.levels):
+            for link in links:
+                link.express_flight = fl
+                link.busy_until = fl.free_at(lvl, link)
+        for i, (tail, _terms) in enumerate(fl.batches):
+            fl.entries[i] = sim.call_after(tail - now, self._express_fire_mcast, fl, i)
+        self._flights.append(fl)
+        self.express.mcast_commits += 1
+        return True
+
+    def _express_fire_mcast(self, fl: _McastFlight, i: int) -> None:
+        """One pooled callback batch: every terminal with this tail time."""
+        sim = self.sim
+        _tail, terms = fl.batches[i]
+        fl.entries[i] = None
+        self.express.mcast_batches += 1
+        for dst, lvl, link in terms:
+            link.express_flight = None
+            link.busy_until = 0
+            pending = self._deliver(fl.pkts[dst])
+            if pending is None:
+                link.account(fl.nbytes, sim.now - fl.acquire_at(lvl))
+            else:
+                # Receive FIFO full: hold this terminal link for real
+                # until the NIC drains, like the unicast express path.
+                if not link.try_acquire():
+                    raise SimError(f"express mcast lost terminal link {link.name}")
+                sim.spawn(self._express_mcast_drain(fl, lvl, link, pending),
+                          name=f"mc{fl.pkts[dst].xmit_id}")
+        if all(e is None for e in fl.entries):
+            self._flights.remove(fl)
+            term = fl.tree.terminal_links
+            for lvl, links in enumerate(fl.tree.levels):
+                for link in links:
+                    if link in term:
+                        continue
+                    link.express_flight = None
+                    link.busy_until = 0
+                    link.account(fl.nbytes, fl.free_at(lvl, link) - fl.acquire_at(lvl))
+            self.express.mcast_delivered += 1
+
+    def _express_mcast_drain(self, fl: _McastFlight, lvl: int,
+                             link: DirectedLink, pending):
+        yield pending
+        link.account(fl.nbytes, self.sim.now - fl.acquire_at(lvl))
+        link.release()
+
+    def _revoke_mcast(self, fl: _McastFlight) -> None:
+        """Demote a committed multicast flight to the wormhole fan-out,
+        reconstructing the level-synchronous wave state the slow path
+        would be in right now: levels the wave has exited are accounted
+        (non-terminals re-held with releases pre-scheduled, unfired
+        terminals handed to per-terminal finishers), the current wave
+        level is re-acquired, and a continuation resumes mid-hop."""
+        sim = self.sim
+        pending_terms: list[tuple[int, int, DirectedLink]] = []
+        for i, e in enumerate(fl.entries):
+            if e is not None:
+                e[3] = None  # cancel the pending batch callback
+                fl.entries[i] = None
+                pending_terms.extend(fl.batches[i][1])
+        self._flights.remove(fl)
+        tree, nbytes = fl.tree, fl.nbytes
+        term = tree.terminal_links
+        pending_links = {link for _d, _l, link in pending_terms}
+        for link in tree.all_links:
+            if link.express_flight is fl:
+                link.express_flight = None
+                link.busy_until = 0
+        now = sim.now
+        m = min((now - fl.t0) // fl.hop_ns, tree.num_levels - 1)
+        acq: dict[DirectedLink, int] = {}
+        for lvl in range(m):
+            for link in tree.levels[lvl]:
+                if link in term:
+                    if link not in pending_links:
+                        continue  # its batch already fired and cleaned up
+                    if not link.try_acquire():
+                        raise SimError(f"express mcast lost terminal {link.name}")
+                    dst = tree.downstream[link][0]
+                    sim.spawn(self._mcast_finish(link, fl.pkts[dst], nbytes,
+                                                 fl.acquire_at(lvl)),
+                              name=f"mc{fl.pkts[dst].xmit_id}")
+                else:
+                    fa = fl.free_at(lvl, link)
+                    link.account(nbytes, fa - fl.acquire_at(lvl))
+                    if fa > now:
+                        if not link.try_acquire():
+                            raise SimError(f"express mcast lost held link {link.name}")
+                        sim.call_after(fa - now, link.release)
+        for link in tree.levels[m]:
+            if link in term and link not in pending_links:
+                continue
+            if not link.try_acquire():
+                raise SimError(f"express mcast lost head link {link.name}")
+            acq[link] = fl.acquire_at(m)
+        for link in [lk for lvl in tree.levels[m:] for lk in lvl]:
+            link.slow_refs += 1
+        self.express.mcast_revoked += 1
+        sim.spawn(self._resume_mcast(fl, m, acq, pending_terms),
+                  name=f"mcast{next(iter(fl.pkts.values())).xmit_id}")
+
+    def _resume_mcast(self, fl: _McastFlight, m: int,
+                      acq: dict, pending_terms: list):
+        sim = self.sim
+        tree, nbytes = fl.tree, fl.nbytes
+        marked = [lk for lvl in tree.levels[m:] for lk in lvl]
+        try:
+            # Terminals on the current wave level serialize on their own
+            # clock; deeper terminals are reached by the resumed wave.
+            for dst, lvl, link in pending_terms:
+                if lvl == m:
+                    sim.spawn(self._mcast_finish(link, fl.pkts[dst], nbytes,
+                                                 fl.acquire_at(m)),
+                              name=f"mc{fl.pkts[dst].xmit_id}")
+            if m < tree.num_levels - 1:
+                wake = fl.acquire_at(m) + fl.hop_ns
+                if wake > sim.now:
+                    yield sim.timeout(wake - sim.now)
+                yield from self._run_mcast(tree, fl.pkts, nbytes, m + 1, acq)
+        finally:
+            for link in marked:
+                link.slow_refs -= 1
+
+    # ---------------------------------------------------- wormhole mcast
+    def _traverse_mcast(self, tree: McastTree, pkts: dict, nbytes: int):
+        try:
+            yield from self._run_mcast(tree, pkts, nbytes, 0, {})
+        finally:
+            for link in tree.all_links:
+                link.slow_refs -= 1
+
+    def _run_mcast(self, tree: McastTree, pkts: dict, nbytes: int,
+                   start: int, acq: dict):
+        """The level-synchronous wormhole fan-out from tree level
+        ``start``; ``acq`` carries acquired-at times of already-held
+        upstream links so a revoked flight can resume mid-wave."""
+        sim = self.sim
+        hop_ns = self._hop_ns
+        term = tree.terminal_links
+        dead: set = set()
+        for j in range(start, tree.num_levels):
+            for link in tree.levels[j]:
+                parent = tree.parent.get(link)
+                if parent is not None and parent in dead:
+                    dead.add(link)
+                    continue
+                yield link.acquire()
+                if not link.up:
+                    link.release()
+                    dead.add(link)
+                    self.stats.dropped_linkdown += len(tree.downstream[link])
+                    if sim.trace.enabled:
+                        for d in tree.downstream[link]:
+                            sim.trace.emit("net.drop", d, msg=pkts[d].msg_id,
+                                           src=pkts[d].src_nic, reason="linkdown")
+                    continue
+                acq[link] = sim.now
+            if j > 0:
+                # Children acquired: the previous level's interior links
+                # free once their serialization completes (terminals are
+                # owned by their finishers instead).
+                for plink in tree.levels[j - 1]:
+                    if plink in term or plink in dead or plink not in acq:
+                        continue
+                    free_at = max(sim.now, acq[plink] + plink.wire_ns(nbytes))
+                    plink.account(nbytes, free_at - acq[plink])
+                    sim.schedule(free_at - sim.now, plink.release)
+            for dst, lvl, tlink in tree.terminals:
+                if lvl != j or tlink in dead:
+                    continue
+                sim.spawn(self._mcast_finish(tlink, pkts[dst], nbytes, acq[tlink]),
+                          name=f"mc{pkts[dst].xmit_id}")
+            if j < tree.num_levels - 1:
+                yield sim.timeout(hop_ns)
+
+    def _mcast_finish(self, link: DirectedLink, pkt: Packet, nbytes: int,
+                      t_acq: int):
+        """Finish one terminal hop: wait out serialization, deliver (with
+        FIFO-full backpressure holding the link), account, release."""
+        sim = self.sim
+        tail = t_acq + link.wire_ns(nbytes)
+        if tail > sim.now:
+            yield sim.timeout(tail - sim.now)
+        if not link.up:
+            self.stats.dropped_linkdown += 1
+            if sim.trace.enabled:
+                sim.trace.emit("net.drop", pkt.dst_nic, msg=pkt.msg_id,
+                               src=pkt.src_nic, reason="linkdown")
+            link.release()
+            return
+        pending = self._deliver(pkt)
+        if pending is not None:
+            yield pending
+        link.account(nbytes, sim.now - t_acq)
+        link.release()
 
     # ----------------------------------------------------------- delivery
     def _deliver(self, pkt: Packet):

@@ -45,6 +45,7 @@ class PacketType(Enum):
     ACK = "ack"
     NACK = "nack"
     SYNC = "sync"  # channel re-initialization handshake
+    COLL = "coll"  # firmware collective (barrier/broadcast/reduce) step
 
 
 class NackReason(Enum):

@@ -36,6 +36,7 @@ from ..sim.core import Simulator
 from ..sim.resources import Gate, GateTimeout, Store
 from ..sim.rng import RngStreams
 from .channels import RxPeerState, TxChannel, backoff_ns
+from .collective import CollectiveEngine
 from .driver_port import DriverOp, LamportClock, NicNotify
 from .endpoint_state import EndpointState, Residency
 from .message import Message, MessageState, MsgKind
@@ -150,6 +151,8 @@ class Nic:
         self._rx_turn = True
         self.epoch = 1
         self.alive = True
+        #: firmware collective operations (barrier/broadcast/reduce)
+        self.coll = CollectiveEngine(self)
         self._proc = sim.spawn(self._main_loop(), name=f"nic{nic_id}.fw")
 
     # ====================================================== host-facing API
@@ -215,6 +218,9 @@ class Nic:
             ok, _ = self._rx_store.try_get()
             if not ok:
                 break
+        # Collective tree state lives in NI SRAM: it is gone with the
+        # crash, and pending host handles must fail promptly.
+        self.coll.reset()
 
     def reboot(self) -> None:
         """Restart with a new channel epoch; peers resynchronize (§5.1)."""
@@ -227,6 +233,10 @@ class Nic:
                 for orphan in ch.reset(self.epoch):
                     self._resolve_returned(orphan, "reboot")
         self._rx_peers.clear()
+        # Re-attach must not resurrect pre-crash collective trees: a
+        # rebooted NI forwarding stale (root, vnet) edges is the same
+        # leak class as the rx-handler leak the detach above prevents.
+        self.coll.reset()
         self.network.set_nic_dead(self.nic_id, False)
         self._work.set()
 
@@ -235,7 +245,7 @@ class Nic:
         """Wire delivery: returns a waitable while the rx FIFO is full."""
         if not self.alive:
             return None
-        if pkt.kind in (PacketType.ACK, PacketType.NACK):
+        if pkt.kind in (PacketType.ACK, PacketType.NACK, PacketType.COLL):
             self._rx_proto_q.append(pkt)
             self._work.set()
             return None
@@ -722,6 +732,9 @@ class Nic:
             pkt.recycle()
         elif pkt.kind is PacketType.NACK:
             yield from self._handle_nack(pkt)
+            pkt.recycle()
+        elif pkt.kind is PacketType.COLL:
+            yield from self.coll.handle_rx(pkt)
             pkt.recycle()
 
     def _handle_data(self, pkt: Packet):

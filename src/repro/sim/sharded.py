@@ -200,6 +200,24 @@ class Shard:
         self.net.send(Packet(src_g, dst_g, PacketType.DATA, channel=kind,
                              payload_bytes=nbytes, msg_id=mid))
 
+    def inject_multicast(self, src_g: int, dsts_g: List[int], nbytes: int,
+                         kind: int = KIND_REQ) -> None:
+        """Fan one payload out to every destination in one tree send.
+
+        Shard-local branches ride the fabric spanning tree (one pooled
+        express commit on an idle fabric); cross-shard tree edges are
+        demoted packet-by-packet to the trunk by the boundary inside
+        :meth:`~repro.myrinet.network.Network.send_multicast`, before any
+        local stats or RNG state is touched — so the digest contract
+        holds with collective traffic exactly as with unicast.
+        """
+        dsts = sorted(set(dsts_g))
+        mids = {d: self.next_mid() for d in dsts}
+        self.net.send_multicast(
+            src_g, dsts,
+            lambda d: Packet(src_g, d, PacketType.DATA, channel=kind,
+                             payload_bytes=nbytes, msg_id=mids[d]))
+
     def _rx_local(self, pkt: Packet) -> None:
         # Local-fabric delivery.  Restriction (a) of the determinism
         # argument: this handler must never emit a trunk record.
@@ -346,10 +364,39 @@ def _build_chaos_storm(shard: Shard) -> None:
         shard.sim.schedule(t_down + int(p["flap_down_ns"]), set_up, idx, True)
 
 
+def _build_collective(shard: Shard) -> None:
+    """Rotating-root collective fan-outs over the uniform background.
+
+    Each wave, one root per shard multicasts to every other local host
+    plus a stride of counterpart hosts one shard over: the local
+    branches exercise the fabric spanning tree while the cross-shard
+    tree edges traverse the trunk.  Scheduled between the uniform waves
+    so some fan-outs meet an idle fabric (express batches) and some
+    collide with unicast traffic (wormhole fallback) — both must fold
+    into identical digests across executors.
+    """
+    _build_uniform(shard)
+    p = _params(shard, dict(_UNIFORM_DEFAULTS, coll_waves=4,
+                            coll_bytes=96, coll_stride=2))
+    spec = shard.spec
+    n = spec.hosts_per_shard
+    total = spec.total_hosts
+    period = n * int(p["stagger_ns"]) + int(p["pad_ns"])
+    for w in range(int(p["coll_waves"])):
+        root_g = spec.base + (w % n)
+        dsts = [spec.base + k for k in range(n) if spec.base + k != root_g]
+        if spec.num_shards > 1:
+            dsts += [(root_g + n + k) % total
+                     for k in range(0, n, int(p["coll_stride"]))]
+        shard.sim.schedule(500 + w * period, shard.inject_multicast,
+                           root_g, dsts, int(p["coll_bytes"]), KIND_REQ)
+
+
 SHARD_SCENARIOS: Dict[str, Callable[[Shard], None]] = {
     "uniform": _build_uniform,
     "hotspot": _build_hotspot,
     "chaos_storm": _build_chaos_storm,
+    "collective": _build_collective,
 }
 
 
