@@ -123,6 +123,15 @@ def _bench_scale(engine, **opts):
     return _run(engine=engine, **opts)
 
 
+def _bench_fleet(engine, **opts):
+    from ..scale.fleet import run_fleet_sweep as _run
+
+    # The fleet macro-model is engine-independent (it runs the residency
+    # components directly, not the event kernel), so the engine spec is
+    # accepted and ignored for signature parity with the other benches.
+    return _run(**opts)
+
+
 def _bench_shard_scaling(engine, **opts):
     from ..bench.perf import run_shard_scaling
 
@@ -141,6 +150,7 @@ BENCHES = {
     "perf": _bench_perf,
     "calib": _bench_calib,
     "scale": _bench_scale,
+    "fleet": _bench_fleet,
     "tenant": _bench_tenant,
     "shard_scaling": _bench_shard_scaling,
     "collectives": _bench_collectives,
@@ -152,7 +162,7 @@ def run_bench(name: str, *, engine: Union[None, str, Engine] = None,
     """Run a registered benchmark/harness under one roof.
 
     ``name`` is one of :data:`BENCHES` (``perf``, ``calib``, ``scale``,
-    ``tenant``, ``shard_scaling``); ``engine`` is any
+    ``fleet``, ``tenant``, ``shard_scaling``); ``engine`` is any
     :func:`resolve_engine` spec.  Keyword options pass straight through
     to the underlying suite (each of which documents its own knobs).
     """

@@ -297,6 +297,12 @@ class ClusterConfig:
     #: timelines are bit-identical either way, which repro.bench.perf's
     #: net_burst oracle enforces in CI.
     express_path: bool = True
+    #: allow back-to-back same-route sends to *join* a committed express
+    #: flight as train members (one pooled callback re-armed member to
+    #: member) instead of revoking it and sending both down the wormhole
+    #: path.  Same bit-identical-timeline contract as ``express_path``;
+    #: off reproduces the old revoke-on-second-send behaviour.
+    express_trains: bool = True
     #: quiet period after the most recent fault injection (or direct
     #: link/switch flip) before the express path re-arms, provided every
     #: link and switch is back up.  0 restores the old sticky behaviour:

@@ -47,6 +47,21 @@ Delivery timestamps, ``NetworkStats`` and per-link accounting are
 bit-identical between modes; ``repro.bench.perf``'s net_burst oracle
 enforces this in CI.  Express bookkeeping lives in the separate
 :class:`ExpressStats` so ``NetworkStats`` stays mode-invariant.
+
+Express trains (DESIGN.md §11 residual, closed)
+-----------------------------------------------
+
+One revocation case used to be self-inflicted: a *same-route* follow-up
+send — the common back-to-back burst from one source — demoted the
+committed flight and sent both packets down the wormhole path, even
+though the pair contends only in the trivially precomputable FIFO way.
+With ``cfg.express_trains`` on, such a send instead **joins** the
+committed flight as a train member: its schedule is derived from its
+predecessor's release times (exactly the slow path's FIFO handoff on an
+otherwise idle route), and the whole train keeps ONE pending delivery
+callback, re-armed member-to-member, so n back-to-back packets cost n
+events instead of n·(2L+1).  Every unicast flight is a train; a train
+of one reproduces the original flight behaviour bit for bit.
 """
 
 from __future__ import annotations
@@ -94,6 +109,9 @@ class ExpressStats:
     #: sends that fell back because a wormhole process was in flight on
     #: a link of *this* route (or not yet attributable to its links)
     fallback_active: int = 0
+    #: same-route sends that joined a committed flight as train members
+    #: instead of revoking it (``cfg.express_trains``)
+    train_joins: int = 0
     #: times the path re-armed after a quiet period following a fault
     reenabled: int = 0
     #: sends whose destination lay across a shard boundary: never
@@ -112,41 +130,71 @@ class ExpressStats:
     mcast_fallbacks: int = 0
 
     def hits(self) -> int:
-        return self.commits + self.loopback
+        return self.commits + self.train_joins + self.loopback
 
     def fallbacks(self) -> int:
         return self.fallback_busy + self.fallback_active
 
 
-class _ExpressFlight:
-    """A committed express delivery: a precomputed wormhole timeline.
+class _TrainMember:
+    """One packet riding an express train, with its frozen schedule:
+    ``acq[j]`` / ``free[j]`` reproduce exactly when the slow path would
+    acquire and release link ``j`` for this packet."""
 
-    ``acquire_at(j)`` / ``free_at(j)`` reproduce exactly when the slow
-    path would acquire and release link ``j`` on an uncontended route;
-    :meth:`Network._revoke` uses them to reconstruct mid-flight wormhole
-    state when the flight must be demoted.
+    __slots__ = ("pkt", "nbytes", "acq", "free")
+
+    def __init__(self, pkt: Packet, nbytes: int,
+                 acq: list[int], free: list[int]):
+        self.pkt = pkt
+        self.nbytes = nbytes
+        self.acq = acq
+        self.free = free
+
+
+class _ExpressTrain:
+    """A committed express delivery *train*: one or more same-route
+    packets sharing a single pending pooled callback.
+
+    The leader's schedule is the uncontended wormhole timeline; each
+    follower acquires link ``j`` at ``max(prev hop + hop_ns,
+    predecessor frees j)`` — the FIFO handoff the slow path would
+    produce for back-to-back packets on an otherwise idle route.  Only
+    one delivery callback is pending at a time: firing member k re-arms
+    it for member k+1.  :meth:`Network._revoke` uses the per-member
+    schedules to reconstruct mid-flight wormhole state on demotion.
     """
 
-    __slots__ = ("pkt", "route", "nbytes", "t0", "hop_ns", "tail_at", "entry")
+    __slots__ = ("route", "hop_ns", "members", "next_up", "entry")
 
-    def __init__(self, pkt: Packet, route: list[DirectedLink], nbytes: int,
-                 t0: int, hop_ns: int):
-        self.pkt = pkt
+    def __init__(self, route: list[DirectedLink], hop_ns: int):
         self.route = route
-        self.nbytes = nbytes
-        self.t0 = t0
         self.hop_ns = hop_ns
-        self.tail_at = t0 + (len(route) - 1) * hop_ns + route[-1].wire_ns(nbytes)
-        self.entry: Optional[list] = None  # delivery heap entry (cancelable)
+        self.members: list[_TrainMember] = []
+        #: index of the next member to deliver
+        self.next_up = 0
+        #: the one pending delivery heap entry (cancelable)
+        self.entry: Optional[list] = None
 
-    def acquire_at(self, j: int) -> int:
-        return self.t0 + j * self.hop_ns
-
-    def free_at(self, j: int) -> int:
-        if j == len(self.route) - 1:
-            return self.tail_at
-        return max(self.acquire_at(j + 1),
-                   self.acquire_at(j) + self.route[j].wire_ns(self.nbytes))
+    def append(self, pkt: Packet, nbytes: int, now: int) -> _TrainMember:
+        route, hop = self.route, self.hop_ns
+        last = len(route) - 1
+        acq = [0] * (last + 1)
+        free = [0] * (last + 1)
+        prev = self.members[-1] if self.members else None
+        if prev is None:
+            acq[0] = now
+            for j in range(1, last + 1):
+                acq[j] = acq[j - 1] + hop
+        else:
+            acq[0] = max(now, prev.free[0])
+            for j in range(1, last + 1):
+                acq[j] = max(acq[j - 1] + hop, prev.free[j])
+        free[last] = acq[last] + route[last].wire_ns(nbytes)
+        for j in range(last - 1, -1, -1):
+            free[j] = max(acq[j + 1], acq[j] + route[j].wire_ns(nbytes))
+        m = _TrainMember(pkt, nbytes, acq, free)
+        self.members.append(m)
+        return m
 
 
 class _McastFlight:
@@ -218,7 +266,7 @@ class Network:
         self._rearm_at: Optional[int] = None
         #: id()s of links/switches currently administratively down
         self._down: set[int] = set()
-        self._flights: list[_ExpressFlight] = []
+        self._flights: list = []
         #: slow sends spawned but not yet attributed to their route's
         #: links (the window between send() and the process's first step)
         self._slow_pending = 0
@@ -436,6 +484,22 @@ class Network:
         route = self.topology.cached_route(pkt.src_nic, pkt.dst_nic, pkt.channel)
         if route is None:
             return False  # slow path owns the noroute drop accounting
+        # A back-to-back send down the *same* route joins the committed
+        # train instead of revoking it: the follower's schedule is the
+        # FIFO handoff the slow path would produce, and the train still
+        # keeps only one pending callback (re-armed member-to-member).
+        head = route[0].express_flight
+        if (head is not None and self.cfg.express_trains
+                and not self._slow_pending
+                and isinstance(head, _ExpressTrain) and head.route == route
+                and all(link.express_flight is head and not link.slow_refs
+                        for link in route)):
+            nbytes = pkt.wire_bytes(self.cfg.packet_header_bytes)
+            m = head.append(pkt, nbytes, sim.now)
+            for j, link in enumerate(route):
+                link.busy_until = m.free[j]
+            self.express.train_joins += 1
+            return True
         # A committed flight claiming any link on this route must be
         # demoted first: the new packet may contend, which its frozen
         # timeline cannot absorb.  Revoking *before* this packet touches
@@ -457,12 +521,13 @@ class Network:
                 self.express.fallback_busy += 1
                 return False
         nbytes = pkt.wire_bytes(self.cfg.packet_header_bytes)
-        fl = _ExpressFlight(pkt, route, nbytes, now, self._hop_ns)
+        tr = _ExpressTrain(route, self._hop_ns)
+        m = tr.append(pkt, nbytes, now)
         for j, link in enumerate(route):
-            link.express_flight = fl
-            link.busy_until = fl.free_at(j)
-        fl.entry = sim.call_after(fl.tail_at - now, self._express_fire, fl)
-        self._flights.append(fl)
+            link.express_flight = tr
+            link.busy_until = m.free[j]
+        tr.entry = sim.call_after(m.free[-1] - now, self._express_fire, tr)
+        self._flights.append(tr)
         self.express.commits += 1
         return True
 
@@ -472,84 +537,145 @@ class Network:
         # slow path's waiting process has no further effects either.
         self._deliver(pkt)
 
-    def _express_fire(self, fl: _ExpressFlight) -> None:
-        """The single delivery callback of an un-revoked flight."""
-        self._flights.remove(fl)
-        route, nbytes = fl.route, fl.nbytes
-        for link in route:
-            link.express_flight = None
-            link.busy_until = 0
+    def _express_fire(self, tr: _ExpressTrain) -> None:
+        """The train's pooled delivery callback: delivers one member,
+        then re-arms itself for the next member (if any)."""
+        sim = self.sim
+        route = tr.route
+        m = tr.members[tr.next_up]
+        tr.next_up += 1
         last_j = len(route) - 1
+        done = tr.next_up == len(tr.members)
+        if done:
+            self._flights.remove(tr)
+            tr.entry = None
+            for link in route:
+                link.express_flight = None
+                link.busy_until = 0
         # Per-link accounting in exactly the slow path's amounts.
         for j in range(last_j):
-            route[j].account(nbytes, fl.free_at(j) - fl.acquire_at(j))
-        pending = self._deliver(fl.pkt)
+            route[j].account(m.nbytes, m.free[j] - m.acq[j])
+        pending = self._deliver(m.pkt)
         last = route[last_j]
         if pending is None:
-            last.account(nbytes, self.sim.now - fl.acquire_at(last_j))
+            last.account(m.nbytes, sim.now - m.acq[last_j])
+            if not done:
+                nxt = tr.members[tr.next_up]
+                tr.entry = sim.call_after(nxt.free[last_j] - sim.now,
+                                          self._express_fire, tr)
         else:
             # Receive FIFO full: hold the last link for real until the
             # NIC drains, so congestion backs into the fabric exactly
             # like the wormhole path ("congestion rapidly spreads").
+            # Followers' frozen schedules assumed the link frees on
+            # time, so they demote to wormhole processes queueing
+            # behind the drain in FIFO order.
             if not last.try_acquire():
                 raise SimError(f"express flight lost its tail link {last.name}")
-            self.sim.spawn(self._express_drain(fl, last, pending),
-                           name=f"pkt{fl.pkt.xmit_id}")
+            sim.spawn(self._express_drain(m, last, pending),
+                      name=f"pkt{m.pkt.xmit_id}")
+            if not done:
+                self._flights.remove(tr)
+                tr.entry = None
+                for link in route:
+                    link.express_flight = None
+                    link.busy_until = 0
+                self._demote_members(tr)
         self.express.delivered += 1
 
-    def _express_drain(self, fl: _ExpressFlight, last: DirectedLink, pending):
+    def _express_drain(self, m: _TrainMember, last: DirectedLink, pending):
         yield pending
-        last.account(fl.nbytes, self.sim.now - fl.acquire_at(len(fl.route) - 1))
+        last.account(m.nbytes, self.sim.now - m.acq[-1])
         last.release()
 
-    def _revoke(self, fl: _ExpressFlight) -> None:
-        """Demote a committed flight to a wormhole process, reconstructing
-        exactly the state the slow path would be in right now: links the
-        virtual head has exited are accounted (and, while still inside
-        their occupancy window, re-held with their release pre-scheduled);
-        the link the head currently occupies is re-acquired and a
-        continuation process resumes the traversal mid-hop."""
-        sim = self.sim
-        fl.entry[3] = None  # cancel the pending delivery callback
-        fl.entry = None
-        self._flights.remove(fl)
-        route, nbytes = fl.route, fl.nbytes
-        for link in route:
+    def _revoke(self, tr: _ExpressTrain) -> None:
+        """Demote a committed train to wormhole processes, reconstructing
+        exactly the state the slow path would be in right now for every
+        undelivered member: links a virtual head has exited are accounted
+        (and, while still inside their occupancy window, re-held with
+        their release pre-scheduled); the link each head currently
+        occupies is re-acquired and a continuation process resumes the
+        traversal mid-hop.  Members not yet on the wire re-enter as
+        ordinary slow sends, behind their predecessors in FIFO order."""
+        if tr.entry is not None:
+            tr.entry[3] = None  # cancel the pending delivery callback
+            tr.entry = None
+        self._flights.remove(tr)
+        for link in tr.route:
             link.express_flight = None
             link.busy_until = 0
-        now = sim.now
-        m = min((now - fl.t0) // fl.hop_ns, len(route) - 1)
-        acquired_at = [fl.acquire_at(j) for j in range(m + 1)]
-        for j in range(m):
-            fa = fl.free_at(j)
-            route[j].account(nbytes, fa - fl.acquire_at(j))
-            if fa > now:
-                if not route[j].try_acquire():
-                    raise SimError(f"express flight lost held link {route[j].name}")
-                sim.call_after(fa - now, route[j].release)
-        if not route[m].try_acquire():
-            raise SimError(f"express flight lost head link {route[m].name}")
-        # The resumed wormhole can still contend on the links it has not
-        # exited yet; links already fully freed stay unmarked.
-        for link in route[m:]:
-            link.slow_refs += 1
-        self.express.revoked += 1
-        sim.spawn(self._resume_traverse(fl, m, acquired_at), name=f"pkt{fl.pkt.xmit_id}")
+        self._demote_members(tr)
 
-    def _resume_traverse(self, fl: _ExpressFlight, m: int, acquired_at: list[int]):
-        route = fl.route
-        held = [route[m]]
+    def _demote_members(self, tr: _ExpressTrain) -> None:
+        sim = self.sim
+        route = tr.route
+        now = sim.now
+        for m in tr.members[tr.next_up:]:
+            # Head index: a grant strictly before `now` is certainly
+            # real; a grant scheduled at exactly `now` is real only if
+            # the link is actually free right now (a blocked delivery
+            # or a just-demoted predecessor can hold a link past the
+            # frozen schedule) — ``try_acquire`` is the probe *and* the
+            # re-hold.
+            mi = len(route) - 1
+            while mi >= 0 and m.acq[mi] > now:
+                mi -= 1
+            while mi >= 0 and not route[mi].try_acquire():
+                if m.acq[mi] != now:
+                    raise SimError(
+                        f"express train lost head link {route[mi].name}")
+                mi -= 1
+            if mi < 0:
+                # Not on the wire yet: the slow path's process would be
+                # queued on the first link; re-inject it whole.  Counted
+                # pending until the process publishes its slow_refs,
+                # like _dispatch_slow.
+                self._slow_pending += 1
+                self.express.revoked += 1
+                sim.spawn(self._restart_member(tr, m),
+                          name=f"pkt{m.pkt.xmit_id}")
+                continue
+            for j in range(mi):
+                fa = m.free[j]
+                route[j].account(m.nbytes, fa - m.acq[j])
+                if fa > now:
+                    if not route[j].try_acquire():
+                        raise SimError(
+                            f"express flight lost held link {route[j].name}")
+                    sim.call_after(fa - now, route[j].release)
+            # The resumed wormhole can still contend on the links it has
+            # not exited yet; links already fully freed stay unmarked.
+            for link in route[mi:]:
+                link.slow_refs += 1
+            self.express.revoked += 1
+            sim.spawn(self._resume_traverse(tr, m, mi),
+                      name=f"pkt{m.pkt.xmit_id}")
+
+    def _restart_member(self, tr: _ExpressTrain, m: _TrainMember):
+        route = tr.route
+        for link in route:
+            link.slow_refs += 1
+        self._slow_pending -= 1
         try:
-            if m < len(route) - 1:
+            yield from self._run_route(m.pkt, route, m.nbytes, 0, [], [])
+        finally:
+            for link in route:
+                link.slow_refs -= 1
+
+    def _resume_traverse(self, tr: _ExpressTrain, m: _TrainMember, mi: int):
+        route = tr.route
+        held = [route[mi]]
+        try:
+            if mi < len(route) - 1:
                 # The wormhole would be mid-hop: inside the timeout begun
-                # when link m was acquired.
-                wake = fl.acquire_at(m) + fl.hop_ns
+                # when link mi was acquired.
+                wake = m.acq[mi] + tr.hop_ns
                 if wake > self.sim.now:
                     yield self.sim.timeout(wake - self.sim.now)
-            yield from self._run_route(fl.pkt, route, fl.nbytes, m + 1,
-                                       acquired_at, held)
+            yield from self._run_route(m.pkt, route, m.nbytes, mi + 1,
+                                       m.acq[:mi + 1], held)
         finally:
-            for link in route[m:]:
+            for link in route[mi:]:
                 link.slow_refs -= 1
 
     def _revoke_any(self, fl) -> None:

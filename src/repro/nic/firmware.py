@@ -38,7 +38,7 @@ from ..sim.rng import RngStreams
 from .channels import RxPeerState, TxChannel, backoff_ns
 from .collective import CollectiveEngine
 from .driver_port import DriverOp, LamportClock, NicNotify
-from .endpoint_state import EndpointState, Residency
+from .endpoint_state import EndpointState, EndpointTable, Residency
 from .message import Message, MessageState, MsgKind
 
 __all__ = ["Nic", "NicStats"]
@@ -93,6 +93,10 @@ class Nic:
 
         #: all endpoints the driver has registered on this node
         self.endpoints: dict[int, EndpointState] = {}
+        #: struct-of-arrays backing store for this NIC's endpoint state;
+        #: registered endpoints are adopted into it so policies and
+        #: gauges index columns instead of walking objects (DESIGN.md §15)
+        self.table = EndpointTable(node=nic_id, frames=cfg.endpoint_frames)
         #: the scarce resource: endpoint frames in NI SRAM (Section 4.1)
         self.frames: list[Optional[EndpointState]] = [None] * cfg.endpoint_frames
 
@@ -204,6 +208,12 @@ class Nic:
 
     def resident_endpoints(self) -> list[EndpointState]:
         return [ep for ep in self.frames if ep is not None]
+
+    def resize_frames(self, n: int) -> None:
+        """Grow the SRAM frame set (harness hook; never shrinks)."""
+        while len(self.frames) < n:
+            self.frames.append(None)
+        self.table.ensure_frames(n)
 
     # ========================================================== fault hooks
     def crash(self) -> None:
@@ -1087,6 +1097,9 @@ class Nic:
             self.sim.trace.emit("drv.op", self.nic_id, op=op.op, ep=op.ep.ep_id)
         yield self.sim.timeout(self.meter.cost_ns("driver_op", cfg.ni_driver_op_instr))
         if op.op == "alloc":
+            # Registration binds the endpoint's row into this NIC's
+            # table (no-op when the driver already built it there).
+            self.table.adopt(op.ep)
             self.endpoints[op.ep.ep_id] = op.ep
             op.done.trigger(None)
         elif op.op == "free":
@@ -1103,6 +1116,7 @@ class Nic:
             self.endpoints.pop(ep.ep_id, None)
             if ep.frame is not None and self.frames[ep.frame] is ep:
                 self.frames[ep.frame] = None
+                self.table.frame_rows[ep.frame] = -1
             op.done.trigger(None)
         elif op.op == "load":
             self.sim.spawn(self._do_load(op), name=f"nic{self.nic_id}.load")
@@ -1120,6 +1134,7 @@ class Nic:
             op.done.fail(RuntimeError(f"frame {frame} not free for load"))
             return
         self.frames[frame] = ep  # reserve before the DMA
+        self.table.frame_rows[frame] = self.table.adopt(ep)
         load_start = self.sim.now
         yield from self.sbus.transfer(self.cfg.frame_bytes, SbusDma.READ)
         if ep.residency is Residency.FREED or self.endpoints.get(ep.ep_id) is not ep:
@@ -1130,6 +1145,7 @@ class Nic:
             # reservation instead and report completion.
             if self.frames[frame] is ep:
                 self.frames[frame] = None
+                self.table.frame_rows[frame] = -1
             ep.transition = False
             self._work.set()
             op.done.trigger(None)
@@ -1168,6 +1184,7 @@ class Nic:
                                 dur_ns=self.sim.now - unload_start)
         if ep.frame is not None and self.frames[ep.frame] is ep:
             self.frames[ep.frame] = None
+            self.table.frame_rows[ep.frame] = -1
         ep.frame = None
         ep.residency = Residency.ONHOST_RO
         ep.quiescing = False

@@ -51,7 +51,16 @@ from typing import Callable, Deque, Optional
 from ..cluster.config import ClusterConfig
 from ..hw.host import Cpu
 from ..nic.driver_port import DriverOp, LamportClock
-from ..nic.endpoint_state import EndpointState, Residency
+from ..nic.endpoint_state import (
+    F_MR_REQUESTED,
+    F_QUIESCING,
+    F_REFERENCED,
+    F_TRANSITION,
+    RES_FREED,
+    EndpointState,
+    EndpointTable,
+    Residency,
+)
 from ..nic.firmware import Nic
 from ..sim.core import Event, Simulator, us
 from ..sim.resources import Gate
@@ -97,7 +106,7 @@ class DriverStats:
 #: registry of victim-selection policies, keyed by the
 #: ``ClusterConfig.replacement_policy`` name.  Filled by
 #: :func:`register_policy`; ``ClusterConfig.validate`` checks against it.
-REPLACEMENT_POLICIES: dict[str, Callable[["SegmentDriver"], "VictimPolicy"]] = {}
+REPLACEMENT_POLICIES: dict[str, Callable[..., "VictimPolicy"]] = {}
 
 
 def register_policy(name: str):
@@ -114,18 +123,24 @@ def register_policy(name: str):
 class VictimPolicy:
     """Chooses which resident endpoint to evict when all frames are full.
 
-    ``choose`` receives only *eligible* candidates: resident, not
-    quiescing, not in transition, not freed, and (when the hysteresis
-    knob allows) not loaded within the protection window.  It must return
-    one of them; the driver never calls it with an empty list.
+    Policies operate on integer row ids against an
+    :class:`~repro.nic.endpoint_state.EndpointTable`'s columns — no
+    per-candidate object materialization, which is what lets the fleet
+    sweep (:mod:`repro.scale.fleet`) run the same code over 10^5+
+    endpoints.  ``choose_row`` receives only *eligible* candidates
+    (resident, not quiescing, not in transition, not freed, and — when
+    the hysteresis knob allows — not loaded within the protection
+    window) in frame-index order.  It must return one of them; the
+    caller never passes an empty list.
     """
 
     name = "?"
 
-    def __init__(self, driver: "SegmentDriver"):
-        self.driver = driver
+    def __init__(self, table: EndpointTable, rng):
+        self.table = table
+        self.rng = rng
 
-    def choose(self, candidates: list[EndpointState]) -> EndpointState:
+    def choose_row(self, candidates: list[int]) -> int:
         raise NotImplementedError
 
 
@@ -133,8 +148,8 @@ class VictimPolicy:
 class RandomPolicy(VictimPolicy):
     """The paper's choice (Section 4.1): uniformly random victim."""
 
-    def choose(self, candidates: list[EndpointState]) -> EndpointState:
-        return self.driver.rng.choice(candidates)
+    def choose_row(self, candidates: list[int]) -> int:
+        return self.rng.choice(candidates)
 
 
 @register_policy("lru")
@@ -146,8 +161,9 @@ class LruPolicy(VictimPolicy):
     burst of loads, where none has been serviced yet).
     """
 
-    def choose(self, candidates: list[EndpointState]) -> EndpointState:
-        return min(candidates, key=lambda c: (c.last_active_ns, c.ep_id))
+    def choose_row(self, candidates: list[int]) -> int:
+        la, eid = self.table.last_active, self.table.ep_id
+        return min(candidates, key=lambda r: (la[r], eid[r]))
 
 
 @register_policy("clock")
@@ -162,24 +178,27 @@ class ClockPolicy(VictimPolicy):
     belt-and-braces guarantee of termination.
     """
 
-    def __init__(self, driver: "SegmentDriver"):
-        super().__init__(driver)
+    def __init__(self, table: EndpointTable, rng):
+        super().__init__(table, rng)
         self._hand = 0
 
-    def choose(self, candidates: list[EndpointState]) -> EndpointState:
-        frames = self.driver.nic.frames
-        eligible = {id(c) for c in candidates}
+    def choose_row(self, candidates: list[int]) -> int:
+        t = self.table
+        frames = t.frame_rows
+        flags = t.flags
+        eligible = set(candidates)
         n = len(frames)
         for _ in range(2 * n):
-            ep = frames[self._hand]
+            r = frames[self._hand]
             self._hand = (self._hand + 1) % n
-            if ep is None or id(ep) not in eligible:
+            if r < 0 or r not in eligible:
                 continue
-            if ep.referenced:
-                ep.referenced = False
+            if flags[r] & F_REFERENCED:
+                flags[r] &= ~F_REFERENCED
                 continue
-            return ep
-        return min(candidates, key=lambda c: (c.last_active_ns, c.ep_id))
+            return r
+        la, eid = t.last_active, t.ep_id
+        return min(candidates, key=lambda r: (la[r], eid[r]))
 
 
 @register_policy("active-preference")
@@ -193,10 +212,14 @@ class ActivePreferencePolicy(VictimPolicy):
     idle endpoint (tie-broken on ``ep_id``) when one exists.
     """
 
-    def choose(self, candidates: list[EndpointState]) -> EndpointState:
-        def rank(c: EndpointState):
-            busy = 1 if (c.send_ring or c.mr_requested or c.inflight) else 0
-            return (busy, c.last_active_ns, c.ep_id)
+    def choose_row(self, candidates: list[int]) -> int:
+        t = self.table
+        ring, flags, infl = t.ring_used, t.flags, t.inflight
+        la, eid = t.last_active, t.ep_id
+
+        def rank(r: int):
+            busy = 1 if (ring[r] or flags[r] & F_MR_REQUESTED or infl[r]) else 0
+            return (busy, la[r], eid[r])
 
         return min(candidates, key=rank)
 
@@ -312,7 +335,7 @@ class SegmentDriver:
                 f"unknown replacement policy {cfg.replacement_policy!r}; "
                 f"registered: {sorted(REPLACEMENT_POLICIES)}"
             ) from None
-        self.policy = policy_cls(self)
+        self.policy = policy_cls(nic.table, self.rng)
         self.scoreboard = ResidencyScoreboard(window=cfg.thrash_window)
         self._hysteresis_ns = us(cfg.eviction_hysteresis_us)
         self._bounce_ns = us(cfg.thrash_bounce_us)
@@ -355,6 +378,7 @@ class SegmentDriver:
             send_ring_depth=self.cfg.send_ring_depth,
             recv_queue_depth=self.cfg.recv_queue_depth,
             tag=tag,
+            table=self.nic.table,
         )
         self._next_ep_id += 1
         done = Event(self.sim)
@@ -550,29 +574,35 @@ class SegmentDriver:
         """
         req_tenant = requester.tenant if requester is not None else None
         node = self.nic.nic_id
+        t = self.nic.table
+        flags, res = t.flags, t.res
+        # Candidate rows come straight off the frame_rows column in
+        # frame-index order; no per-candidate view objects are built.
         candidates = [
-            cand
-            for cand in self.nic.resident_endpoints()
-            if not cand.quiescing and not cand.transition
-            and cand.residency is not Residency.FREED
+            r
+            for r in t.frame_rows
+            if r >= 0
+            and not (flags[r] & (F_QUIESCING | F_TRANSITION))
+            and res[r] != RES_FREED
         ]
         if not candidates:
             return None
+        tenant_ref = t.tenant_ref
         if req_tenant is not None and req_tenant.spec.frame_quota is not None:
             if req_tenant.frames_held(node) >= req_tenant.spec.frame_quota:
-                candidates = [c for c in candidates if c.tenant is req_tenant]
+                candidates = [r for r in candidates if tenant_ref[r] is req_tenant]
                 if not candidates:
                     return None
         vetoed = 0
         allowed = []
-        for cand in candidates:
-            ct = cand.tenant
+        for r in candidates:
+            ct = tenant_ref[r]
             if (ct is not None and ct is not req_tenant
                     and ct.frames_held(node) <= ct.spec.frame_reservation):
                 ct.stats.reservation_vetoes += 1
                 vetoed += 1
                 continue
-            allowed.append(cand)
+            allowed.append(r)
         if vetoed and self.sim.trace.enabled:
             self.sim.trace.emit("tenant.veto", node, count=vetoed)
         candidates = allowed
@@ -580,13 +610,14 @@ class SegmentDriver:
             return None
         if self._hysteresis_ns > 0:
             now = self.sim.now
+            loaded_at = t.loaded_at
             seasoned = [
-                c for c in candidates if now - c.loaded_at_ns >= self._hysteresis_ns
+                r for r in candidates if now - loaded_at[r] >= self._hysteresis_ns
             ]
             if seasoned and len(seasoned) < len(candidates):
                 self.scoreboard.hysteresis_vetoes += len(candidates) - len(seasoned)
                 candidates = seasoned
-        return self.policy.choose(candidates)
+        return t.views[self.policy.choose_row(candidates)]
 
     def _attribute_eviction(self, requester: EndpointState, victim: EndpointState) -> None:
         """Per-tenant eviction attribution (who caused / who suffered)."""
@@ -618,7 +649,7 @@ class SegmentDriver:
             sb.eviction_remap_ratio
         )
         m.gauge("residency.resident", node=node).set(
-            len(self.nic.resident_endpoints())
+            self.nic.table.resident_count()
         )
         if flagged and not was_flagged:
             tr.emit("drv.thrash", node, policy=self.policy.name,

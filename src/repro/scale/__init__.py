@@ -16,20 +16,35 @@ relationship:
   goodput, p50/p99 request latency, remap rate and the residency
   scoreboard's thrash score per cell, JSON output (``BENCH_SCALE.json``)
   and a ``--smoke`` CI mode that runs every cell twice and insists on
-  bit-identical digests.
+  bit-identical digests;
+* :mod:`repro.scale.fleet` — the fleet-scale macro-model: hundreds of
+  hosts × several server NIs × 10^5–10^6 endpoints on struct-of-arrays
+  endpoint tables, driven by diurnal/bursty arrival models against the
+  *production* replacement policies, with a tracemalloc peak-memory
+  budget gate (``BENCH_FLEET.json``).
 
 Run as a module::
 
     PYTHONPATH=src python -m repro.scale --smoke
     PYTHONPATH=src python -m repro.scale --policies random active-preference \\
         --ratios 1 8 32 --out BENCH_SCALE.json
+    PYTHONPATH=src python -m repro.scale --fleet --smoke
 
 Every run is deterministic: the same ``(policy, ratio, seed)`` cell
 produces a bit-identical result digest (and, with tracing on, a
 bit-identical timeline digest) on every run.
 """
 
-from .loadgen import ScaleCellConfig, ScaleCellResult, run_cell
+from .fleet import (
+    DEFAULT_FLEET_POLICIES,
+    DEFAULT_FLEET_RATIOS,
+    FleetCellConfig,
+    FleetCellResult,
+    FleetReport,
+    run_fleet_cell,
+    run_fleet_sweep,
+)
+from .loadgen import ARRIVAL_MODELS, ArrivalModel, ScaleCellConfig, ScaleCellResult, run_cell
 from .sweep import (
     DEFAULT_POLICIES,
     DEFAULT_RATIOS,
@@ -39,12 +54,21 @@ from .sweep import (
 )
 
 __all__ = [
+    "ARRIVAL_MODELS",
+    "ArrivalModel",
+    "DEFAULT_FLEET_POLICIES",
+    "DEFAULT_FLEET_RATIOS",
     "DEFAULT_POLICIES",
     "DEFAULT_RATIOS",
+    "FleetCellConfig",
+    "FleetCellResult",
+    "FleetReport",
     "ScaleCellConfig",
     "ScaleCellResult",
     "ScaleReport",
     "main",
     "run_cell",
+    "run_fleet_cell",
+    "run_fleet_sweep",
     "run_sweep",
 ]

@@ -1,5 +1,17 @@
-"""Entry point: ``python -m repro.scale`` runs the overcommit sweep."""
+"""Entry point: ``python -m repro.scale`` runs the overcommit sweep.
 
-from .sweep import main
+``python -m repro.scale --fleet ...`` dispatches to the fleet-scale
+sweep (:mod:`repro.scale.fleet`) instead of the single-NI cell sweep.
+"""
 
-raise SystemExit(main())
+import sys
+
+argv = sys.argv[1:]
+if "--fleet" in argv:
+    from .fleet import main
+
+    argv.remove("--fleet")
+else:
+    from .sweep import main
+
+raise SystemExit(main(argv))

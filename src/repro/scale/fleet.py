@@ -1,0 +1,603 @@
+"""Fleet-scale overcommit: hundreds of hosts, 10^5–10^6 endpoints.
+
+The Section 6.4 cell (:mod:`repro.scale.loadgen`) proves graceful
+degradation at *one* server NI with full packet-level fidelity.  The
+ROADMAP's north star ("millions of users") needs the same claim at fleet
+shape — hundreds of hosts × several server NIs × 10^5–10^6 endpoints —
+where simulating every packet is neither possible nor necessary: what is
+under test is the *residency machinery* (tables, policies, the
+rate-limited remap engine), not the wire protocol already gated by the
+packet-level suites.
+
+So the fleet sweep is a deterministic tick-based macro-model built
+directly on the production residency components:
+
+* every NI's endpoint population is a real
+  :class:`repro.nic.endpoint_state.EndpointTable` — the same
+  struct-of-arrays store the firmware and segment driver use, which is
+  what makes 10^5 endpoints fit in tens of MB (DESIGN.md §15);
+* victim selection runs the *registered* policies
+  (:data:`repro.osim.segdriver.REPLACEMENT_POLICIES`) through the same
+  integer-row ``choose_row`` interface the segment driver calls — the
+  fleet differentiates `lru`/`clock`/`active-preference` with the exact
+  production code, no re-implementation;
+* the remap engine is serial and rate-limited to the paper's measured
+  200–300 re-mappings/s per NI (§6.4.1), so overcommit pressure shows up
+  as deferred work, exactly as on the real driver;
+* arrival shapes come from :data:`repro.scale.loadgen.ARRIVAL_MODELS`
+  (`uniform` / `diurnal` / `bursty`) with per-host phase spreading, and
+  each NI's active ("hot") endpoint set churns every tick so policies
+  face a moving working set.
+
+Each (hosts × ratio × policy) cell costs O(arrivals + remaps + frames)
+per tick — independent of the endpoint count — and digests its integer
+observables; ``--smoke`` runs every cell twice and fails on any digest
+mismatch, any zero-goodput cell, or a tracemalloc peak above the
+documented budget at the 10^5-endpoint cell.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.scale --fleet --smoke
+    PYTHONPATH=src python -m repro.scale --fleet --hosts 64 256 \\
+        --ratios 16 98 --out BENCH_FLEET.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import random
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..bench.reporting import print_table
+from ..nic.endpoint_state import (
+    F_MR_REQUESTED,
+    F_REFERENCED,
+    RES_ONHOST_RO,
+    RES_ONNIC_RW,
+    EndpointTable,
+)
+from ..osim.segdriver import REPLACEMENT_POLICIES
+from .loadgen import ARRIVAL_MODELS
+
+__all__ = [
+    "DEFAULT_FLEET_POLICIES",
+    "DEFAULT_FLEET_RATIOS",
+    "FleetCellConfig",
+    "FleetCellResult",
+    "FleetReport",
+    "run_fleet_cell",
+    "run_fleet_sweep",
+    "main",
+]
+
+DEFAULT_FLEET_POLICIES = ("random", "lru", "clock", "active-preference")
+DEFAULT_FLEET_RATIOS = (4, 16, 64)
+#: hosts × nis × frames × ratio = 64 × 2 × 8 × 98 = 100 352 endpoints:
+#: the acceptance cell (10^5 endpoints across ≥ 64 hosts)
+MEMCHECK_CELL = dict(hosts=64, nis_per_host=2, endpoint_frames=8, ratio=98)
+#: documented peak-memory budget for the 10^5-endpoint cell (all
+#: endpoint/channel state, tracemalloc-measured; see EXPERIMENTS.md)
+MEMCHECK_BUDGET_MB = 100.0
+
+
+@dataclass
+class FleetCellConfig:
+    """One (hosts, ratio, policy, arrival) point of the fleet sweep."""
+
+    policy: str = "lru"
+    hosts: int = 64
+    #: server NIs per host (a fleet host fronts several boards)
+    nis_per_host: int = 2
+    endpoint_frames: int = 8
+    #: endpoints per NI frame (1 = no overcommit)
+    ratio: int = 16
+    arrival: str = "diurnal"
+    #: macro-model ticks (one tick ≈ ``tick_us`` of fleet time)
+    ticks: int = 192
+    #: ticks excluded from the goodput-floor tracking while residency
+    #: warms up from the all-cold start (None = ticks // 4)
+    warmup_ticks: Optional[int] = None
+    tick_us: float = 1000.0
+    #: serial remap-engine capacity per NI (§6.4.1 measured 200-300/s)
+    remaps_per_s: float = 285.0
+    #: peak message arrivals per NI per tick
+    msgs_per_ni_tick: int = 48
+    #: fraction of a NI's endpoints in the active set at any moment
+    hot_fraction: float = 0.3
+    #: active-set members replaced per tick, as a fraction of the set
+    churn_fraction: float = 0.02
+    #: an eviction bounces if its victim is re-touched within this window
+    bounce_us: float = 4000.0
+    seed: int = 1999
+
+    @property
+    def endpoints_per_ni(self) -> int:
+        return self.ratio * self.endpoint_frames
+
+    @property
+    def n_nis(self) -> int:
+        return self.hosts * self.nis_per_host
+
+    @property
+    def total_endpoints(self) -> int:
+        return self.n_nis * self.endpoints_per_ni
+
+    def key(self) -> tuple:
+        return (self.policy, self.hosts, self.nis_per_host,
+                self.endpoint_frames, self.ratio, self.arrival,
+                self.ticks, self.seed)
+
+
+@dataclass
+class FleetCellResult:
+    """Integer observables of one fleet cell (all digest inputs)."""
+
+    policy: str
+    hosts: int
+    nis_per_host: int
+    frames: int
+    ratio: int
+    arrival: str
+    total_endpoints: int
+    seed: int
+    # goodput
+    completed: int = 0
+    deferred: int = 0
+    goodput_msgs_s: float = 0.0
+    #: minimum fleet-wide goodput over any single tick (the floor the
+    #: graceful-degradation gate cares about at the diurnal trough)
+    tick_goodput_min: int = 0
+    # residency machinery (fleet totals)
+    remaps: int = 0
+    evictions: int = 0
+    bounced_evictions: int = 0
+    thrash_score: float = 0.0
+    #: peak backlog of pending make-resident requests across the fleet
+    remap_backlog_peak: int = 0
+    # memory
+    table_bytes: int = 0
+    bytes_per_endpoint: float = 0.0
+    tracemalloc_peak_bytes: int = 0
+    # bookkeeping
+    wall_s: float = 0.0
+    digest: str = ""
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _NiSim:
+    """Macro-model of one server NI: a real EndpointTable + policy under
+    a rate-limited serial remap engine."""
+
+    __slots__ = ("table", "policy", "rng", "phase", "remap_q", "hot",
+                 "credit", "credit_per_tick", "bounce_ns", "tick_ns",
+                 "goodput", "deferred", "remaps", "evictions", "bounces")
+
+    def __init__(self, fcfg: FleetCellConfig, ni_id: int):
+        n = fcfg.endpoints_per_ni
+        self.table = EndpointTable(node=ni_id, frames=fcfg.endpoint_frames)
+        for i in range(n):
+            self.table.add_row(i)
+        self.rng = random.Random((fcfg.seed << 20) ^ (ni_id * 2654435761))
+        self.policy = REPLACEMENT_POLICIES[fcfg.policy](self.table, self.rng)
+        host = ni_id // fcfg.nis_per_host
+        # golden-ratio phase spreading: hosts desynchronize evenly
+        self.phase = (host * 0.6180339887498949) % 1.0
+        self.remap_q: list[int] = []
+        hot_size = max(1, min(n, round(n * fcfg.hot_fraction)))
+        self.hot = [self.rng.randrange(n) for _ in range(hot_size)]
+        self.credit = 0.0
+        self.credit_per_tick = fcfg.remaps_per_s * fcfg.tick_us / 1e6
+        self.tick_ns = int(fcfg.tick_us * 1000)
+        self.bounce_ns = int(fcfg.bounce_us * 1000)
+        self.goodput = 0
+        self.deferred = 0
+        self.remaps = 0
+        self.evictions = 0
+        self.bounces = 0
+
+    def tick(self, tick_idx: int, arrivals: int, churn: int) -> int:
+        """One macro tick; returns messages served this tick."""
+        t = self.table
+        res, flags, ring = t.res, t.flags, t.ring_used
+        la, loaded, evicted = t.last_active, t.loaded_at, t.evicted_at
+        now = tick_idx * self.tick_ns
+        rng = self.rng
+        hot = self.hot
+        served = 0
+
+        # -- message arrivals against the hot set --------------------
+        for _ in range(arrivals):
+            r = hot[rng.randrange(len(hot))]
+            la[r] = now
+            if res[r] == RES_ONNIC_RW:
+                served += 1
+                flags[r] |= F_REFERENCED
+            else:
+                self.deferred += 1
+                ring[r] += 1  # backlog waiting for residency
+                if evicted[r] >= 0:
+                    if now - evicted[r] <= self.bounce_ns:
+                        self.bounces += 1
+                    evicted[r] = -1
+                if not flags[r] & F_MR_REQUESTED:
+                    flags[r] |= F_MR_REQUESTED
+                    self.remap_q.append(r)
+
+        # -- hot-set churn: the working set drifts under the policies -
+        n = len(res)
+        for _ in range(churn):
+            hot[rng.randrange(len(hot))] = rng.randrange(n)
+
+        # -- serial remap engine (rate-limited, §6.4.1) ---------------
+        self.credit += self.credit_per_tick
+        q = self.remap_q
+        frame_rows = t.frame_rows
+        while self.credit >= 1.0 and q:
+            self.credit -= 1.0
+            r = q.pop(0)
+            flags[r] &= ~F_MR_REQUESTED
+            if res[r] == RES_ONNIC_RW:
+                continue
+            frame = -1
+            for f, occ in enumerate(frame_rows):
+                if occ < 0:
+                    frame = f
+                    break
+            if frame < 0:
+                candidates = [occ for occ in frame_rows if occ >= 0]
+                victim = self.policy.choose_row(candidates)
+                frame = t.frame[victim]
+                frame_rows[frame] = -1
+                t.frame[victim] = -1
+                res[victim] = RES_ONHOST_RO
+                evicted[victim] = now
+                self.evictions += 1
+                # a victim unloaded with backlog faults straight back in
+                if ring[victim] and not flags[victim] & F_MR_REQUESTED:
+                    flags[victim] |= F_MR_REQUESTED
+                    q.append(victim)
+            frame_rows[frame] = r
+            t.frame[r] = frame
+            res[r] = RES_ONNIC_RW
+            loaded[r] = now
+            flags[r] |= F_REFERENCED
+            self.remaps += 1
+            # the backlog drains as soon as residency lands
+            served += ring[r]
+            ring[r] = 0
+
+        self.goodput += served
+        return served
+
+
+def _digest(parts) -> str:
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(repr(p).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def run_fleet_cell(fcfg: FleetCellConfig, *,
+                   measure_memory: bool = False) -> FleetCellResult:
+    """Run one fleet cell; returns its :class:`FleetCellResult`.
+
+    ``measure_memory=True`` wraps the build + run in tracemalloc and
+    records the peak (slower; used by the budget gate, not the sweep).
+    """
+    try:
+        model = ARRIVAL_MODELS[fcfg.arrival]()
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival model {fcfg.arrival!r}; "
+            f"registered: {sorted(ARRIVAL_MODELS)}"
+        ) from None
+    if fcfg.policy not in REPLACEMENT_POLICIES:
+        raise ValueError(
+            f"unknown replacement policy {fcfg.policy!r}; "
+            f"registered: {sorted(REPLACEMENT_POLICIES)}"
+        )
+    wall0 = time.perf_counter()
+    if measure_memory:
+        tracemalloc.start()
+    nis = [_NiSim(fcfg, ni_id) for ni_id in range(fcfg.n_nis)]
+
+    peak_msgs = fcfg.msgs_per_ni_tick
+    churn = max(1, round(len(nis[0].hot) * fcfg.churn_fraction))
+    warmup = fcfg.warmup_ticks if fcfg.warmup_ticks is not None \
+        else fcfg.ticks // 4
+    tick_goodput_min = None
+    backlog_peak = 0
+    for tick_idx in range(fcfg.ticks):
+        tick_served = 0
+        backlog = 0
+        for ni in nis:
+            arrivals = int(peak_msgs * model.intensity(tick_idx, ni.phase))
+            tick_served += ni.tick(tick_idx, arrivals, churn)
+            backlog += len(ni.remap_q)
+        if tick_idx >= warmup and (
+                tick_goodput_min is None or tick_served < tick_goodput_min):
+            tick_goodput_min = tick_served
+        if backlog > backlog_peak:
+            backlog_peak = backlog
+
+    if measure_memory:
+        _, mem_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    else:
+        mem_peak = 0
+
+    res = FleetCellResult(
+        policy=fcfg.policy,
+        hosts=fcfg.hosts,
+        nis_per_host=fcfg.nis_per_host,
+        frames=fcfg.endpoint_frames,
+        ratio=fcfg.ratio,
+        arrival=fcfg.arrival,
+        total_endpoints=fcfg.total_endpoints,
+        seed=fcfg.seed,
+    )
+    res.completed = sum(ni.goodput for ni in nis)
+    res.deferred = sum(ni.deferred for ni in nis)
+    res.remaps = sum(ni.remaps for ni in nis)
+    res.evictions = sum(ni.evictions for ni in nis)
+    res.bounced_evictions = sum(ni.bounces for ni in nis)
+    res.thrash_score = res.bounced_evictions / max(1, res.remaps)
+    res.tick_goodput_min = tick_goodput_min or 0
+    res.remap_backlog_peak = backlog_peak
+    elapsed_s = fcfg.ticks * fcfg.tick_us / 1e6
+    res.goodput_msgs_s = res.completed / elapsed_s
+    res.table_bytes = sum(ni.table.nbytes() for ni in nis)
+    res.bytes_per_endpoint = res.table_bytes / max(1, fcfg.total_endpoints)
+    res.tracemalloc_peak_bytes = mem_peak
+    res.digest = _digest([
+        ("fleet", *fcfg.key()),
+        ("per_ni", [(ni.goodput, ni.deferred, ni.remaps, ni.evictions,
+                     ni.bounces) for ni in nis]),
+        ("floor", res.tick_goodput_min, backlog_peak),
+    ])
+    res.wall_s = time.perf_counter() - wall0
+    return res
+
+
+@dataclass
+class FleetReport:
+    """One fleet sweep: the (hosts × ratio × policy) grid + aggregate digest."""
+
+    arrival: str
+    seed: int
+    cells: list[FleetCellResult] = field(default_factory=list)
+    #: digest mismatches found by --smoke's double runs
+    nondeterministic: list[str] = field(default_factory=list)
+    #: failures of the tracemalloc budget gate at the 10^5 cell
+    memory_violations: list[str] = field(default_factory=list)
+
+    @property
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        for c in self.cells:
+            h.update(c.digest.encode())
+        return h.hexdigest()
+
+    def collapsed_cells(self) -> list[FleetCellResult]:
+        """Cells that violate graceful degradation (zero goodput)."""
+        return [c for c in self.cells if c.completed == 0]
+
+    def to_json(self) -> dict:
+        return {
+            "arrival": self.arrival,
+            "seed": self.seed,
+            "digest": self.digest,
+            "nondeterministic": self.nondeterministic,
+            "memory_violations": self.memory_violations,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+
+def run_fleet_sweep(
+    policies: Sequence[str] = DEFAULT_FLEET_POLICIES,
+    ratios: Sequence[int] = DEFAULT_FLEET_RATIOS,
+    hosts_list: Sequence[int] = (64,),
+    *,
+    nis_per_host: int = 2,
+    frames: int = 8,
+    arrival: str = "diurnal",
+    ticks: int = 192,
+    seed: int = 1999,
+    verify_determinism: bool = False,
+    progress=None,
+) -> FleetReport:
+    """Run the grid; one :class:`FleetCellResult` per (hosts, ratio, policy).
+
+    ``verify_determinism`` re-runs every cell and records digest
+    mismatches in ``report.nondeterministic`` (the ``--smoke`` gate).
+    """
+    report = FleetReport(arrival=arrival, seed=seed)
+    for hosts in hosts_list:
+        for policy in policies:
+            for ratio in ratios:
+                fcfg = FleetCellConfig(
+                    policy=policy, hosts=hosts, nis_per_host=nis_per_host,
+                    endpoint_frames=frames, ratio=ratio, arrival=arrival,
+                    ticks=ticks, seed=seed,
+                )
+                res = run_fleet_cell(fcfg)
+                if verify_determinism:
+                    res2 = run_fleet_cell(fcfg)
+                    if res2.digest != res.digest:
+                        report.nondeterministic.append(
+                            f"{policy}@{hosts}h/{ratio}:1 digests differ: "
+                            f"{res.digest[:12]} vs {res2.digest[:12]}"
+                        )
+                report.cells.append(res)
+                if progress is not None:
+                    progress(
+                        f"  {policy:>18} {hosts:>4}h {ratio:>3}:1  "
+                        f"{res.total_endpoints:>7} eps  "
+                        f"{res.goodput_msgs_s / 1e3:9.1f} K msg/s  "
+                        f"floor {res.tick_goodput_min:>5}/tick  "
+                        f"thrash {res.thrash_score:.2f}  "
+                        f"{res.table_bytes / 1e6:6.1f} MB  "
+                        f"[{res.wall_s:.1f}s wall]"
+                    )
+    return report
+
+
+def run_memcheck(report: FleetReport, *, policy: str = "lru",
+                 arrival: str = "diurnal", ticks: int = 24,
+                 seed: int = 1999, budget_mb: float = MEMCHECK_BUDGET_MB,
+                 progress=None) -> FleetCellResult:
+    """The 10^5-endpoint acceptance cell under the tracemalloc budget.
+
+    Appends the cell to ``report`` and records a violation if the
+    measured peak exceeds ``budget_mb``.
+    """
+    fcfg = FleetCellConfig(policy=policy, arrival=arrival, ticks=ticks,
+                           seed=seed, **MEMCHECK_CELL)
+    res = run_fleet_cell(fcfg, measure_memory=True)
+    report.cells.append(res)
+    peak_mb = res.tracemalloc_peak_bytes / 1e6
+    if peak_mb > budget_mb:
+        report.memory_violations.append(
+            f"{fcfg.total_endpoints} endpoints peaked at {peak_mb:.1f} MB "
+            f"(budget {budget_mb:.0f} MB)"
+        )
+    if progress is not None:
+        progress(
+            f"  memcheck: {res.total_endpoints} endpoints over "
+            f"{fcfg.hosts} hosts -> tracemalloc peak {peak_mb:.1f} MB "
+            f"(budget {budget_mb:.0f} MB), tables {res.table_bytes / 1e6:.1f} MB "
+            f"({res.bytes_per_endpoint:.0f} B/endpoint), "
+            f"goodput {res.completed} msgs"
+        )
+    return res
+
+
+def _report_rows(report: FleetReport) -> list[list]:
+    rows = []
+    for c in report.cells:
+        rows.append([
+            c.policy, c.hosts, f"{c.ratio}:1", c.total_endpoints,
+            f"{c.goodput_msgs_s / 1e3:.1f}",
+            c.tick_goodput_min,
+            f"{c.remaps}", f"{c.thrash_score:.2f}",
+            f"{c.table_bytes / 1e6:.1f}",
+            f"{c.bytes_per_endpoint:.0f}",
+        ])
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="fleet-scale overcommit sweep (hosts x ratio x policy)")
+    ap.add_argument("--policies", nargs="+",
+                    default=list(DEFAULT_FLEET_POLICIES), metavar="POLICY")
+    ap.add_argument("--ratios", type=int, nargs="+",
+                    default=list(DEFAULT_FLEET_RATIOS), metavar="R",
+                    help="endpoints-per-frame overcommit ratios")
+    ap.add_argument("--hosts", type=int, nargs="+", default=[64],
+                    metavar="H", help="fleet sizes to sweep")
+    ap.add_argument("--nis-per-host", type=int, default=2)
+    ap.add_argument("--frames", type=int, default=8,
+                    help="endpoint frames per server NI (8 = LANai 4.3)")
+    ap.add_argument("--arrival", default="diurnal",
+                    choices=sorted(ARRIVAL_MODELS))
+    ap.add_argument("--ticks", type=int, default=192)
+    ap.add_argument("--seed", type=int, default=1999)
+    ap.add_argument("--out", default="BENCH_FLEET.json",
+                    help="write the full report here as JSON")
+    ap.add_argument("--verify-determinism", action="store_true",
+                    help="run every cell twice and require identical digests")
+    ap.add_argument("--budget-mb", type=float, default=MEMCHECK_BUDGET_MB,
+                    help="tracemalloc budget for the 10^5-endpoint cell")
+    ap.add_argument("--no-memcheck", action="store_true",
+                    help="skip the 10^5-endpoint memory gate cell")
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced CI matrix: 8 hosts x 1 NI x 4 frames, "
+                         "ratios 4/16, every cell run twice, plus the "
+                         "10^5-endpoint tracemalloc budget cell")
+    args = ap.parse_args(argv)
+
+    nis_per_host = args.nis_per_host
+    frames = args.frames
+    if args.smoke:
+        args.hosts = [8]
+        nis_per_host = 1
+        frames = 4
+        args.ratios = [4, 16]
+        args.ticks = 96
+        args.verify_determinism = True
+
+    print(f"fleet sweep: hosts={args.hosts}, nis/host={nis_per_host}, "
+          f"frames={frames}, policies={args.policies}, ratios={args.ratios}, "
+          f"arrival={args.arrival}, seed={args.seed}"
+          + (" [smoke: every cell run twice]" if args.smoke else ""))
+    report = run_fleet_sweep(
+        args.policies,
+        args.ratios,
+        args.hosts,
+        nis_per_host=nis_per_host,
+        frames=frames,
+        arrival=args.arrival,
+        ticks=args.ticks,
+        seed=args.seed,
+        verify_determinism=args.verify_determinism,
+        progress=print,
+    )
+    if not args.no_memcheck:
+        run_memcheck(report, arrival=args.arrival, seed=args.seed,
+                     budget_mb=args.budget_mb, progress=print)
+
+    print_table(
+        ["policy", "hosts", "ratio", "endpoints", "good K/s", "floor/tick",
+         "remaps", "thrash", "table MB", "B/ep"],
+        _report_rows(report),
+        title=f"fleet overcommit sweep: arrival={args.arrival}, "
+              f"seed {args.seed}, digest {report.digest[:16]}",
+    )
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+
+    status = 0
+    if report.nondeterministic:
+        print("DETERMINISM FAILURE: cell digests differed between runs:",
+              file=sys.stderr)
+        for line in report.nondeterministic:
+            print(f"  {line}", file=sys.stderr)
+        status = 1
+    if report.memory_violations:
+        print("MEMORY-BUDGET FAILURE:", file=sys.stderr)
+        for line in report.memory_violations:
+            print(f"  {line}", file=sys.stderr)
+        status = 1
+    collapsed = report.collapsed_cells()
+    if collapsed:
+        print("GRACEFUL-DEGRADATION FAILURE: cells with zero goodput:",
+              file=sys.stderr)
+        for c in collapsed:
+            print(f"  {c.policy}@{c.hosts}h/{c.ratio}:1", file=sys.stderr)
+        status = 1
+    if status == 0:
+        worst = min(report.cells, key=lambda c: c.completed)
+        print(f"all {len(report.cells)} cells serviceable; worst cell "
+              f"{worst.policy}@{worst.hosts}h/{worst.ratio}:1 still "
+              f"delivered {worst.completed} msgs "
+              f"(floor {worst.tick_goodput_min}/tick)"
+              + (" — determinism verified (double runs matched)"
+                 if args.verify_determinism else ""))
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

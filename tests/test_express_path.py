@@ -279,6 +279,116 @@ def test_shard_boundary_demotes_before_express_and_local_stats():
     assert (dict(vars(net.stats)), net.express.hits()) == before
 
 
+# --------------------------------------------------------- express trains
+def test_back_to_back_same_route_joins_train():
+    """DESIGN.md §11 residual, closed: a same-route follow-up send used
+    to revoke the committed flight (both packets went slow); it now
+    joins as a train member sharing the one pooled callback — and
+    everything observable is still identical to the express-off run."""
+    sends = [(0, 0, 5, 256), (200, 0, 5, 512), (400, 0, 5, 64)]
+    (s1, n1, log1), (s2, n2, log2) = both_modes(sends)
+    assert n1.express.commits == 1
+    assert n1.express.train_joins == 2
+    assert n1.express.revoked == 0
+    assert n1.express.delivered == 3
+    assert log1 == log2
+    assert n1.stats == n2.stats
+    assert link_ledger(n1) == link_ledger(n2)
+    # the elision is real: one pending callback per member, not a
+    # wormhole process per packet
+    assert s1.events_dispatched < s2.events_dispatched
+
+
+def test_express_trains_off_reproduces_revoke_behaviour():
+    sims = []
+    for trains in (True, False):
+        cfg = ClusterConfig(num_hosts=8, express_path=True,
+                            express_trains=trains)
+        sim = Simulator()
+        net = Network(sim, cfg)
+        log = drive(net, sim, [(0, 0, 5, 256), (200, 0, 5, 512)])
+        sims.append((net, log))
+    (n_on, log_on), (n_off, log_off) = sims
+    assert n_on.express.train_joins == 1 and n_on.express.revoked == 0
+    assert n_off.express.train_joins == 0 and n_off.express.revoked == 1
+    assert log_on == log_off  # the knob may never shift a timestamp
+    assert n_on.stats == n_off.stats
+    assert link_ledger(n_on) == link_ledger(n_off)
+
+
+def test_train_demoted_by_intersecting_send():
+    # a committed train (leader + 2 joins) is crossed mid-flight by a
+    # send sharing its downstream link: every undelivered member must
+    # replay as a wormhole process with identical timing
+    sends = [(0, 0, 5, 2048), (150, 0, 5, 2048), (300, 0, 5, 64),
+             (700, 2, 5, 128)]
+    (s1, n1, log1), (s2, n2, log2) = both_modes(sends)
+    assert n1.express.train_joins >= 1
+    assert n1.express.revoked >= 1
+    assert log1 == log2
+    assert n1.stats == n2.stats
+    assert link_ledger(n1) == link_ledger(n2)
+    assert not n1._flights
+
+
+def test_train_blocked_delivery_demotes_followers():
+    """A member delivered into a full receive FIFO holds the tail link
+    for real; the followers' frozen schedules are then invalid and they
+    demote, queueing behind the drain in FIFO order."""
+    def run(express, trains=True):
+        cfg = ClusterConfig(num_hosts=8, express_path=express,
+                            express_trains=trains)
+        sim = Simulator()
+        net = Network(sim, cfg)
+        log, blockers = [], []
+
+        def rx(p):
+            log.append((sim.now, p.msg_id))
+            if p.msg_id == 1:  # block the first delivery for a while
+                ev = sim.event()
+                blockers.append(ev)
+                return ev
+            return None
+
+        net.attach(0, lambda p: None)
+        net.attach(5, rx)
+        for k in range(4):
+            sim.schedule(k * 200, net.send,
+                         Packet(0, 5, PacketType.DATA,
+                                payload_bytes=256, msg_id=k + 1))
+        sim.schedule(50_000, lambda: blockers[0].trigger(None))
+        sim.run()
+        clean = all(l.slow_refs == 0 and l._port.idle
+                    and l.express_flight is None and l.busy_until == 0
+                    for l in net.topology.all_links)
+        return net, log, clean
+
+    n1, log1, clean1 = run(express=True)
+    n2, log2, clean2 = run(express=False)
+    assert n1.express.train_joins >= 1 and n1.express.revoked >= 1
+    assert log1 == log2
+    assert clean1 and clean2
+    assert n1.stats == n2.stats
+    assert link_ledger(n1) == link_ledger(n2)
+
+
+def test_fault_mid_train_demotes_every_member():
+    sends = [(0, 0, 5, 2048), (150, 0, 5, 2048)]
+    sim1, net1, _ = make_net(8)
+    from repro.myrinet import FaultInjector
+
+    fi = FaultInjector(sim1, net1)
+    sim1.schedule(600, fi.set_corruption, 0.0)  # benign fault event
+    log1 = drive(net1, sim1, sends)
+    assert net1.express.train_joins == 1
+    assert net1.express.revoked == 2  # leader and follower both replayed
+
+    sim2, net2, _ = make_net(8, express=False)
+    log2 = drive(net2, sim2, sends)
+    assert log1 == log2
+    assert link_ledger(net1) == link_ledger(net2)
+
+
 # ------------------------------------------------------ attach lifecycle
 def test_detach_and_reattach():
     sim, net, _ = make_net(4)

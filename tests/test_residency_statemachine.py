@@ -44,23 +44,30 @@ def build(**kw):
 
 
 def spy_on_victims(drv):
-    """Wrap the driver's policy so every victim choice is sanity-checked."""
+    """Wrap the driver's policy so every victim choice is sanity-checked.
+
+    Policies see integer row ids; the spy materializes the flyweight view
+    for each candidate to assert the same eligibility invariants as ever.
+    """
     chosen = []
-    orig = drv.policy.choose
+    orig = drv.policy.choose_row
+    table = drv.policy.table
 
     def checked_choose(candidates):
         assert candidates, "policy must never see an empty candidate list"
-        for c in candidates:
+        for r in candidates:
+            c = table.views[r]
+            assert c is not None, f"row {r} offered as victim without a view"
             assert c.resident, f"ep{c.ep_id} offered as victim but not resident"
             assert not c.transition, f"ep{c.ep_id} offered as victim mid-transition"
             assert not c.quiescing, f"ep{c.ep_id} offered as victim while quiescing"
             assert c.residency is not Residency.FREED
         victim = orig(candidates)
         assert victim in candidates
-        chosen.append(victim.ep_id)
+        chosen.append(table.ep_id[victim])
         return victim
 
-    drv.policy.choose = checked_choose
+    drv.policy.choose_row = checked_choose
     return chosen
 
 
